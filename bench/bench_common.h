@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark harnesses. Each harness
+ * regenerates one table or figure of the paper's evaluation and prints
+ * the corresponding rows; EXPERIMENTS.md records paper-vs-measured.
+ */
+
+#ifndef HELIX_BENCH_BENCH_COMMON_H
+#define HELIX_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/helix.h"
+
+namespace helix {
+namespace bench {
+
+/** Experiment scale knobs, reduced when HELIX_BENCH_FAST is set. */
+struct Scale
+{
+    double plannerBudgetS = 6.0;
+    double offlineWarmupS = 120.0;
+    double offlineMeasureS = 180.0;
+    double onlineWarmupS = 60.0;
+    double onlineMeasureS = 180.0;
+
+    static Scale
+    fromEnv()
+    {
+        Scale scale;
+        if (std::getenv("HELIX_BENCH_FAST")) {
+            scale.plannerBudgetS = 2.0;
+            scale.offlineWarmupS = 30.0;
+            scale.offlineMeasureS = 60.0;
+            scale.onlineWarmupS = 20.0;
+            scale.onlineMeasureS = 60.0;
+        }
+        return scale;
+    }
+};
+
+/** One measured row of a throughput/latency comparison. */
+struct SystemResult
+{
+    std::string system;
+    double plannedThroughput = 0.0;
+    sim::SimMetrics metrics;
+};
+
+/** Print the standard comparison header. */
+inline void
+printHeader(const char *title)
+{
+    std::printf("\n=== %s ===\n", title);
+    std::printf("%-10s %10s %12s %12s %12s %12s %12s\n", "system",
+                "planned", "decode t/s", "p-lat mean", "p-lat p95",
+                "d-lat mean", "d-lat p95");
+}
+
+/** Print one comparison row. */
+inline void
+printRow(const SystemResult &row)
+{
+    std::printf("%-10s %10.0f %12.1f %12.2f %12.2f %12.3f %12.3f\n",
+                row.system.c_str(), row.plannedThroughput,
+                row.metrics.decodeThroughput,
+                row.metrics.promptLatency.mean(),
+                row.metrics.promptLatency.percentile(95),
+                row.metrics.decodeLatency.mean(),
+                row.metrics.decodeLatency.percentile(95));
+}
+
+/** Print pairwise throughput ratios against the first (Helix) row. */
+inline void
+printRatios(const std::vector<SystemResult> &rows)
+{
+    if (rows.empty())
+        return;
+    double helix = rows.front().metrics.decodeThroughput;
+    for (size_t i = 1; i < rows.size(); ++i) {
+        double other = rows[i].metrics.decodeThroughput;
+        std::printf("helix / %-8s throughput ratio: %.2fx\n",
+                    rows[i].system.c_str(),
+                    other > 0 ? helix / other : 0.0);
+    }
+}
+
+/** Offline run configuration at the given scale. */
+inline RunConfig
+offlineRun(const Scale &scale, uint64_t seed = 42)
+{
+    RunConfig run;
+    run.online = false;
+    run.warmupSeconds = scale.offlineWarmupS;
+    run.measureSeconds = scale.offlineMeasureS;
+    run.seed = seed;
+    return run;
+}
+
+/**
+ * Online run configuration: arrival rate fixed at 75% of the measured
+ * offline peak (Sec. 6.2 scales the trace to 75% of the cluster's
+ * peak throughput), shared by every system under test.
+ */
+inline RunConfig
+onlineRun(const Scale &scale, double offline_decode_tokens_per_s,
+          uint64_t seed = 43)
+{
+    RunConfig run;
+    run.online = true;
+    run.warmupSeconds = scale.onlineWarmupS;
+    run.measureSeconds = scale.onlineMeasureS;
+    run.seed = seed;
+    trace::LengthModel lengths;
+    run.requestRate = 0.75 * offline_decode_tokens_per_s /
+                      lengths.targetMeanOutput;
+    return run;
+}
+
+} // namespace bench
+} // namespace helix
+
+#endif // HELIX_BENCH_BENCH_COMMON_H

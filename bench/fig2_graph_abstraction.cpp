@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Reproduces Fig. 2: the graph abstraction of a 3-node cluster with a
+ * given model placement. Prints every vertex pair, edge capacity
+ * (tokens/second from the bandwidth / payload arithmetic), and the
+ * max flow, which equals the cluster's max serving throughput.
+ */
+
+#include <cstdio>
+
+#include "cluster/cluster.h"
+#include "cluster/profiler.h"
+#include "model/transformer.h"
+#include "placement/placement_graph.h"
+
+int
+main()
+{
+    using namespace helix;
+    using cluster::kCoordinator;
+
+    // Fig. 2a: A100 holds layers 1-2, two T4s hold layer 3. Token
+    // payload 4 B, activation payload 16 KB (LLaMA-70B hidden size).
+    model::TransformerSpec toy = model::catalog::llama70b();
+    toy.name = "toy-3-layer";
+    toy.numLayers = 3;
+
+    cluster::ClusterSpec clus;
+    clus.addNode({"A100", cluster::gpus::a100_40(), 1, 0});
+    clus.addNode({"T4-1", cluster::gpus::t4(), 1, 0});
+    clus.addNode({"T4-2", cluster::gpus::t4(), 1, 0});
+    clus.setUniformLinks(1e6, 1e-3);
+    clus.setLink(kCoordinator, 0, {20e6, 1e-3}); // 20 Mb/s
+    clus.setLink(1, kCoordinator, {90e6, 1e-3}); // 90 Mb/s
+    clus.setLink(2, kCoordinator, {50e6, 1e-3}); // 50 Mb/s
+    clus.setLink(0, 1, {80e6, 1e-3});            // 80 Mb/s
+    clus.setLink(0, 2, {40e6, 1e-3});            // 40 Mb/s
+    clus.setLink(1, 2, {60e6, 1e-3});            // 60 Mb/s
+
+    cluster::Profiler profiler(toy);
+    placement::ModelPlacement placement;
+    placement.nodes = {{0, 2}, {2, 1}, {2, 1}};
+
+    std::printf("=== Fig. 2: graph abstraction of a 3-node cluster "
+                "===\n");
+    std::printf("model: %d layers, activation %.0f B, token %.0f B\n",
+                toy.numLayers, profiler.activationBytes(),
+                profiler.tokenBytes());
+    std::printf("placement: A100 [0,2), T4-1 [2,3), T4-2 [2,3)\n\n");
+
+    placement::PlacementGraph graph(clus, profiler, placement);
+    double flow = graph.maxThroughput();
+
+    std::printf("%-22s %16s %16s\n", "edge", "capacity (tok/s)",
+                "flow (tok/s)");
+    auto name = [&](int endpoint) {
+        return endpoint == kCoordinator
+                   ? std::string("coord")
+                   : clus.node(endpoint).name;
+    };
+    for (const auto &conn : graph.connections()) {
+        std::string label = name(conn.from) + " -> " + name(conn.to);
+        std::printf("%-22s %16.1f %16.1f\n", label.c_str(),
+                    conn.capacity, conn.flow);
+    }
+    for (int i = 0; i < clus.numNodes(); ++i) {
+        double throughput = profiler.decodeThroughput(
+            clus.node(i), placement[i].count);
+        std::printf("%-22s %16.1f\n",
+                    (name(i) + ".in -> .out").c_str(), throughput);
+    }
+
+    std::printf("\nmax flow (= max serving throughput): %.1f "
+                "tokens/s\n", flow);
+    std::printf("paper reference: max flow between source and sink "
+                "equals the max\n  serving throughput of the cluster "
+                "under the given placement.\n");
+    return 0;
+}

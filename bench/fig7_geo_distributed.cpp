@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Reproduces Fig. 7: geo-distributed serving. Three sub-clusters
+ * ((i) 4 A100, (ii) 2 L4 + 8 T4, (iii) 6 L4 + 4 T4) with 100 Mb/s /
+ * 50 ms inter-cluster links; LLaMA 30B and 70B, offline and online.
+ * Also prints the Table 7 style inter-region bandwidth matrix used to
+ * choose the 100 Mb/s figure.
+ *
+ * Paper reference points (70B): Helix achieves 1.92x / 1.97x Swarm
+ * and 1.61x / 1.79x SP decode throughput (offline / online), and
+ * reduces prompt latency by up to 66%.
+ */
+
+#include <vector>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace helix;
+    using namespace helix::bench;
+
+    Scale scale = Scale::fromEnv();
+    cluster::ClusterSpec clus = cluster::setups::geoDistributed24();
+    std::printf("cluster: %s (3 regions, inter 100 Mb/s / 50 ms)\n",
+                clus.summary().c_str());
+
+    // Table 7: measured inter-region bandwidth (Mb/s) from the paper,
+    // motivating the 100 Mb/s inter-cluster configuration.
+    std::printf("\n=== Table 7: inter-region bandwidth (Mb/s, "
+                "paper's iperf3 measurements) ===\n");
+    const char *regions[] = {"asia-east2", "us-central1", "eu-west3",
+                             "au-se1"};
+    const double matrix[4][4] = {{0, 123, 67, 175},
+                                 {122, 0, 204, 123},
+                                 {61, 196, 0, 54},
+                                 {159, 118, 63, 0}};
+    std::printf("%-14s", "recv \\ send");
+    for (const char *region : regions)
+        std::printf(" %12s", region);
+    std::printf("\n");
+    for (int r = 0; r < 4; ++r) {
+        std::printf("%-14s", regions[r]);
+        for (int s = 0; s < 4; ++s) {
+            if (r == s)
+                std::printf(" %12s", "/");
+            else
+                std::printf(" %12.0f", matrix[r][s]);
+        }
+        std::printf("\n");
+    }
+
+    const model::TransformerSpec models[] = {
+        model::catalog::llama30b(),
+        model::catalog::llama70b(),
+    };
+
+    for (const auto &model_spec : models) {
+        placement::HelixPlannerConfig planner_config;
+        planner_config.timeBudgetSeconds = scale.plannerBudgetS;
+        planner_config.usePruning = true;
+        placement::HelixPlanner helix_planner(planner_config);
+        placement::SwarmPlanner swarm_planner;
+        placement::SeparatePipelinesPlanner sp_planner(false);
+
+        struct System
+        {
+            const char *name;
+            placement::Planner *planner;
+            SchedulerKind scheduler;
+        };
+        System systems[] = {
+            {"helix", &helix_planner, SchedulerKind::Helix},
+            {"swarm", &swarm_planner, SchedulerKind::Swarm},
+            {"sp", &sp_planner, SchedulerKind::FixedRoundRobin},
+        };
+
+        std::vector<Deployment> deployments;
+        std::vector<SystemResult> offline_rows;
+        for (const System &sys : systems) {
+            deployments.emplace_back(clus, model_spec, *sys.planner);
+            Deployment &dep = deployments.back();
+            auto sched = makeScheduler(dep, sys.scheduler);
+            SystemResult row;
+            row.system = sys.name;
+            row.plannedThroughput = dep.plannedThroughput();
+            row.metrics =
+                runExperiment(dep, *sched, offlineRun(scale));
+            offline_rows.push_back(std::move(row));
+        }
+        std::string title =
+            model_spec.name + " - geo offline (Fig. 7a/b)";
+        printHeader(title.c_str());
+        for (const auto &row : offline_rows)
+            printRow(row);
+        printRatios(offline_rows);
+
+        double peak = offline_rows.front().metrics.decodeThroughput;
+        std::vector<SystemResult> online_rows;
+        for (size_t i = 0; i < deployments.size(); ++i) {
+            auto sched = makeScheduler(deployments[i],
+                                       systems[i].scheduler);
+            SystemResult row;
+            row.system = systems[i].name;
+            row.plannedThroughput =
+                deployments[i].plannedThroughput();
+            row.metrics = runExperiment(deployments[i], *sched,
+                                        onlineRun(scale, peak));
+            online_rows.push_back(std::move(row));
+        }
+        title = model_spec.name + " - geo online (Fig. 7c-f)";
+        printHeader(title.c_str());
+        for (const auto &row : online_rows)
+            printRow(row);
+        printRatios(online_rows);
+    }
+
+    std::printf("\npaper reference (70B geo): helix/swarm 1.92x "
+                "offline, 1.97x online; helix/sp 1.61x / 1.79x\n");
+    return 0;
+}

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the algorithmic substrates:
+ * preflow-push vs Dinic max-flow, placement-graph construction and
+ * evaluation, simplex LP solves, IWRR picks, and scheduler walks.
+ * These quantify the per-candidate cost of the placement search and
+ * the per-request cost of scheduling.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.h"
+#include "cluster/profiler.h"
+#include "flow/max_flow.h"
+#include "lp/simplex.h"
+#include "model/transformer.h"
+#include "placement/placement_graph.h"
+#include "placement/planners.h"
+#include "scheduler/scheduler.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace helix;
+
+flow::FlowGraph
+randomGraph(int n, int m, uint64_t seed)
+{
+    Rng rng(seed);
+    flow::FlowGraph graph;
+    for (int i = 0; i < n; ++i)
+        graph.addNode();
+    for (int e = 0; e < m; ++e) {
+        auto u = static_cast<flow::NodeId>(rng.nextBounded(n));
+        auto v = static_cast<flow::NodeId>(rng.nextBounded(n));
+        if (u != v)
+            graph.addEdge(u, v, rng.nextUniform(1.0, 100.0));
+    }
+    return graph;
+}
+
+void
+BM_PreflowPush(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    flow::FlowGraph graph = randomGraph(n, 6 * n, 99);
+    for (auto _ : state) {
+        graph.resetFlow();
+        flow::PreflowPush solver(graph);
+        benchmark::DoNotOptimize(solver.solve(0, 1));
+    }
+}
+BENCHMARK(BM_PreflowPush)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_Dinic(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    flow::FlowGraph graph = randomGraph(n, 6 * n, 99);
+    for (auto _ : state) {
+        graph.resetFlow();
+        flow::Dinic solver(graph);
+        benchmark::DoNotOptimize(solver.solve(0, 1));
+    }
+}
+BENCHMARK(BM_Dinic)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_PlacementGraphEvaluate(benchmark::State &state)
+{
+    cluster::ClusterSpec clus = cluster::setups::singleCluster24();
+    cluster::Profiler profiler(model::catalog::llama70b());
+    placement::PetalsPlanner planner;
+    placement::ModelPlacement placement = planner.plan(clus, profiler);
+    for (auto _ : state) {
+        placement::PlacementGraph graph(clus, profiler, placement);
+        benchmark::DoNotOptimize(graph.maxThroughput());
+    }
+}
+BENCHMARK(BM_PlacementGraphEvaluate);
+
+void
+BM_ServingEstimate(benchmark::State &state)
+{
+    cluster::ClusterSpec clus = cluster::setups::geoDistributed24();
+    cluster::Profiler profiler(model::catalog::llama70b());
+    placement::PetalsPlanner planner;
+    placement::ModelPlacement placement = planner.plan(clus, profiler);
+    for (auto _ : state) {
+        placement::PlacementGraph graph(clus, profiler, placement);
+        benchmark::DoNotOptimize(placement::estimateServingThroughput(
+            clus, profiler, placement, graph));
+    }
+}
+BENCHMARK(BM_ServingEstimate);
+
+void
+BM_SimplexLp(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    Rng rng(7);
+    lp::LpProblem problem;
+    for (int v = 0; v < n; ++v)
+        problem.addVariable(0.0, rng.nextUniform(1.0, 10.0),
+                            rng.nextUniform(0.0, 2.0));
+    for (int c = 0; c < n; ++c) {
+        std::vector<std::pair<int, double>> terms;
+        for (int v = 0; v < n; ++v)
+            terms.push_back({v, rng.nextUniform(0.0, 1.0)});
+        problem.addConstraint(terms, lp::Relation::LessEq,
+                              rng.nextUniform(5.0, 50.0));
+    }
+    lp::SimplexSolver solver;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(solver.solve(problem).objective);
+}
+BENCHMARK(BM_SimplexLp)->Arg(10)->Arg(40)->Arg(100);
+
+void
+BM_IwrrPick(benchmark::State &state)
+{
+    std::vector<int> ids;
+    std::vector<double> weights;
+    Rng rng(5);
+    for (int i = 0; i < 16; ++i) {
+        ids.push_back(i);
+        weights.push_back(rng.nextUniform(1.0, 100.0));
+    }
+    scheduler::IwrrScheduler iwrr(ids, weights);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(iwrr.pick());
+}
+BENCHMARK(BM_IwrrPick);
+
+class NullContext : public scheduler::SchedulerContext
+{
+  public:
+    int queueLength(int) const override { return 0; }
+    double recentThroughput(int) const override { return 1.0; }
+    double kvUsedBytes(int) const override { return 0.0; }
+};
+
+void
+BM_HelixSchedulerWalk(benchmark::State &state)
+{
+    cluster::ClusterSpec clus = cluster::setups::singleCluster24();
+    cluster::Profiler profiler(model::catalog::llama70b());
+    placement::PetalsPlanner planner;
+    placement::ModelPlacement placement = planner.plan(clus, profiler);
+    placement::PlacementGraph graph(clus, profiler, placement);
+    scheduler::Topology topo(clus, profiler, placement, graph);
+    scheduler::HelixScheduler sched(topo);
+    NullContext ctx;
+    trace::Request req{0, 0.0, 763, 232};
+    for (auto _ : state) {
+        auto pipeline = sched.schedule(req, ctx);
+        benchmark::DoNotOptimize(pipeline);
+    }
+}
+BENCHMARK(BM_HelixSchedulerWalk);
+
+void
+BM_PlannerHeuristics(benchmark::State &state)
+{
+    cluster::ClusterSpec clus =
+        cluster::setups::highHeterogeneity42();
+    cluster::Profiler profiler(model::catalog::llama70b());
+    for (auto _ : state) {
+        placement::PetalsPlanner petals;
+        placement::SwarmPlanner swarm;
+        benchmark::DoNotOptimize(petals.plan(clus, profiler));
+        benchmark::DoNotOptimize(swarm.plan(clus, profiler));
+    }
+}
+BENCHMARK(BM_PlannerHeuristics);
+
+} // namespace
+
+BENCHMARK_MAIN();

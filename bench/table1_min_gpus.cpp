@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces Table 1 (minimum numbers of GPUs required to serve LLMs
+ * when half of GPU memory holds parameters and half holds KV-cache)
+ * and dumps the Table 3 GPU property sheet.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "cluster/gpu.h"
+#include "model/transformer.h"
+
+int
+main()
+{
+    using namespace helix;
+
+    std::printf("=== Table 3: GPU properties (datasheet) ===\n");
+    std::printf("%-10s %12s %10s %14s %8s\n", "GPU", "FP16 TFLOPs",
+                "Mem (GB)", "BW (GB/s)", "Power");
+    for (const auto &gpu : cluster::gpus::all()) {
+        std::printf("%-10s %12.0f %10.0f %14.0f %8.0f\n",
+                    gpu.name.c_str(), gpu.tflopsFp16, gpu.memoryGiB,
+                    gpu.memBandwidthGBs, gpu.powerW);
+    }
+
+    std::printf("\n=== Table 1: minimum GPUs to serve each LLM "
+                "(half VRAM for weights) ===\n");
+    std::printf("%-14s %10s %8s %8s %8s\n", "model", "params (B)",
+                "L4", "A100", "H100");
+
+    const model::TransformerSpec models[] = {
+        model::catalog::llama70b(),
+        model::catalog::gpt3_175b(),
+        model::catalog::grok1_314b(),
+        model::catalog::llama3_405b(),
+    };
+    const cluster::GpuSpec gpus[] = {
+        cluster::gpus::l4(),
+        cluster::gpus::a100_40(),
+        cluster::gpus::h100(),
+    };
+
+    for (const auto &model_spec : models) {
+        double weight_bytes =
+            static_cast<double>(model_spec.totalParams()) *
+            model_spec.dtypeBytes;
+        std::printf("%-14s %10.0f", model_spec.name.c_str(),
+                    static_cast<double>(model_spec.totalParams()) /
+                        1e9);
+        for (const auto &gpu : gpus) {
+            // Half of each GPU's memory stores parameters.
+            double budget_per_gpu =
+                static_cast<double>(gpu.memoryBytes()) * 0.5;
+            int needed = static_cast<int>(
+                std::ceil(weight_bytes / budget_per_gpu));
+            std::printf(" %8d", needed);
+        }
+        std::printf("\n");
+    }
+    std::printf("\npaper reference (Table 1): LLaMA-2 70B: 12/7/4, "
+                "GPT-3: 30/18/9,\n  Grok-1: 53/32/16, "
+                "LLaMA-3 405B: 68/41/21\n");
+    return 0;
+}

@@ -1,0 +1,193 @@
+#include "cluster/cluster.h"
+
+#include <map>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace helix {
+namespace cluster {
+
+NodeIndex
+ClusterSpec::addNode(NodeSpec node)
+{
+    HELIX_ASSERT(links.empty());
+    nodes.push_back(std::move(node));
+    return static_cast<NodeIndex>(nodes.size() - 1);
+}
+
+const NodeSpec &
+ClusterSpec::node(NodeIndex index) const
+{
+    HELIX_ASSERT(index >= 0 && index < numNodes());
+    return nodes[index];
+}
+
+int
+ClusterSpec::matrixIndex(NodeIndex index) const
+{
+    HELIX_ASSERT(index >= kCoordinator && index < numNodes());
+    return index + 1;
+}
+
+void
+ClusterSpec::setLink(NodeIndex from, NodeIndex to, LinkSpec link_spec)
+{
+    int side = numNodes() + 1;
+    if (links.empty())
+        links.assign(side * side, LinkSpec{});
+    links[matrixIndex(from) * side + matrixIndex(to)] = link_spec;
+}
+
+const LinkSpec &
+ClusterSpec::link(NodeIndex from, NodeIndex to) const
+{
+    HELIX_ASSERT(!links.empty());
+    int side = numNodes() + 1;
+    return links[matrixIndex(from) * side + matrixIndex(to)];
+}
+
+void
+ClusterSpec::setUniformLinks(double bandwidth_bps, double latency_s)
+{
+    int side = numNodes() + 1;
+    links.assign(side * side, LinkSpec{bandwidth_bps, latency_s});
+}
+
+void
+ClusterSpec::connectRegions(LinkSpec intra, LinkSpec inter,
+                            int coordinator_region)
+{
+    coordRegion = coordinator_region;
+    int side = numNodes() + 1;
+    links.assign(side * side, LinkSpec{});
+    auto regionOf = [&](NodeIndex idx) {
+        return idx == kCoordinator ? coordRegion : nodes[idx].region;
+    };
+    for (NodeIndex from = kCoordinator; from < numNodes(); ++from) {
+        for (NodeIndex to = kCoordinator; to < numNodes(); ++to) {
+            if (from == to)
+                continue;
+            LinkSpec spec =
+                (regionOf(from) == regionOf(to)) ? intra : inter;
+            links[matrixIndex(from) * side + matrixIndex(to)] = spec;
+        }
+    }
+}
+
+double
+ClusterSpec::totalTflops() const
+{
+    double total = 0.0;
+    for (const auto &n : nodes)
+        total += n.totalTflops();
+    return total;
+}
+
+std::string
+ClusterSpec::summary() const
+{
+    // Count nodes per (gpu type, count) signature, preserving insert
+    // order for readability.
+    std::vector<std::pair<std::string, int>> groups;
+    for (const auto &n : nodes) {
+        std::string key = (n.numGpus > 1)
+                              ? std::to_string(n.numGpus) + "x" + n.gpu.name
+                              : n.gpu.name;
+        bool found = false;
+        for (auto &[name, count] : groups) {
+            if (name == key) {
+                ++count;
+                found = true;
+            }
+        }
+        if (!found)
+            groups.push_back({key, 1});
+    }
+    std::ostringstream out;
+    for (size_t i = 0; i < groups.size(); ++i) {
+        if (i > 0)
+            out << " + ";
+        out << groups[i].second << "x" << groups[i].first;
+    }
+    out << " (" << numNodes() << " nodes)";
+    return out.str();
+}
+
+namespace setups {
+
+namespace {
+
+void
+addNodes(ClusterSpec &cluster, const GpuSpec &gpu, int count,
+         int num_gpus, int region)
+{
+    for (int i = 0; i < count; ++i) {
+        NodeSpec node;
+        std::ostringstream name;
+        if (num_gpus > 1)
+            name << num_gpus << "x";
+        name << gpu.name << "-r" << region << "-" << i;
+        node.name = name.str();
+        node.gpu = gpu;
+        node.numGpus = num_gpus;
+        node.region = region;
+        cluster.addNode(std::move(node));
+    }
+}
+
+} // namespace
+
+ClusterSpec
+singleCluster24()
+{
+    ClusterSpec cluster;
+    addNodes(cluster, gpus::a100_40(), 4, 1, 0);
+    addNodes(cluster, gpus::l4(), 8, 1, 0);
+    addNodes(cluster, gpus::t4(), 12, 1, 0);
+    cluster.setUniformLinks(10 * kGbps, 1e-3);
+    return cluster;
+}
+
+ClusterSpec
+geoDistributed24()
+{
+    ClusterSpec cluster;
+    addNodes(cluster, gpus::a100_40(), 4, 1, 0);
+    addNodes(cluster, gpus::l4(), 2, 1, 1);
+    addNodes(cluster, gpus::t4(), 8, 1, 1);
+    addNodes(cluster, gpus::l4(), 6, 1, 2);
+    addNodes(cluster, gpus::t4(), 4, 1, 2);
+    cluster.connectRegions({10 * kGbps, 1e-3}, {100 * kMbps, 50e-3}, 0);
+    return cluster;
+}
+
+ClusterSpec
+highHeterogeneity42()
+{
+    ClusterSpec cluster;
+    addNodes(cluster, gpus::a100_40(), 4, 1, 0);
+    addNodes(cluster, gpus::v100(), 6, 1, 0);
+    addNodes(cluster, gpus::l4(), 8, 1, 0);
+    addNodes(cluster, gpus::t4(), 10, 1, 0);
+    addNodes(cluster, gpus::l4(), 4, 2, 0);
+    addNodes(cluster, gpus::t4(), 6, 2, 0);
+    addNodes(cluster, gpus::t4(), 4, 4, 0);
+    cluster.setUniformLinks(10 * kGbps, 1e-3);
+    return cluster;
+}
+
+ClusterSpec
+plannerCluster10()
+{
+    ClusterSpec cluster;
+    addNodes(cluster, gpus::l4(), 4, 1, 0);
+    addNodes(cluster, gpus::t4(), 6, 1, 0);
+    cluster.setUniformLinks(10 * kGbps, 1e-3);
+    return cluster;
+}
+
+} // namespace setups
+
+} // namespace cluster
+} // namespace helix

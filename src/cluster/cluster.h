@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Cluster topology: compute nodes, network links, and generators for
+ * the three cluster setups evaluated in the paper (Sec. 6.2).
+ *
+ * A cluster contains one coordinator node and N compute nodes. Network
+ * connectivity is a full (N+1)x(N+1) matrix of directed links, each
+ * with a bandwidth and a propagation latency; generators fill the
+ * matrix from region assignments (intra-region fast, inter-region
+ * slow).
+ */
+
+#ifndef HELIX_CLUSTER_CLUSTER_H
+#define HELIX_CLUSTER_CLUSTER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/gpu.h"
+
+namespace helix {
+namespace cluster {
+
+/** Index of a compute node within a cluster (0-based). */
+using NodeIndex = int;
+
+/** Sentinel index representing the coordinator. */
+constexpr NodeIndex kCoordinator = -1;
+
+/**
+ * One compute node: one or more GPUs of a single type, aggregated into
+ * a single logical device (paper Sec. 4.1: multi-GPU nodes use tensor
+ * parallelism internally and are abstracted as one node).
+ */
+struct NodeSpec
+{
+    std::string name;
+    GpuSpec gpu;
+    int numGpus = 1;
+    /** Region id used by the link generator. */
+    int region = 0;
+
+    /** Aggregate FP16 TFLOPs across the node's GPUs. */
+    double totalTflops() const { return gpu.tflopsFp16 * numGpus; }
+
+    /** Aggregate VRAM bytes across the node's GPUs. */
+    int64_t totalMemoryBytes() const
+    {
+        return gpu.memoryBytes() * numGpus;
+    }
+
+    /** Aggregate memory bandwidth in GB/s. */
+    double totalMemBandwidthGBs() const
+    {
+        return gpu.memBandwidthGBs * numGpus;
+    }
+};
+
+/** A directed network link between two endpoints. */
+struct LinkSpec
+{
+    /** Bandwidth in bits per second. */
+    double bandwidthBps = 0.0;
+    /** One-way propagation latency in seconds. */
+    double latencyS = 0.0;
+
+    double bytesPerSecond() const { return bandwidthBps / 8.0; }
+};
+
+/**
+ * A heterogeneous serving cluster: coordinator + compute nodes +
+ * directed link matrix.
+ */
+class ClusterSpec
+{
+  public:
+    /** Add a compute node; returns its index. */
+    NodeIndex addNode(NodeSpec node);
+
+    int numNodes() const { return static_cast<int>(nodes.size()); }
+
+    const NodeSpec &node(NodeIndex index) const;
+
+    /**
+     * Set the directed link between @p from and @p to (either may be
+     * kCoordinator). Must be called after all nodes are added, or use
+     * setUniformLinks()/connectRegions() helpers.
+     */
+    void setLink(NodeIndex from, NodeIndex to, LinkSpec link);
+
+    /** The directed link between two endpoints. */
+    const LinkSpec &link(NodeIndex from, NodeIndex to) const;
+
+    /**
+     * Fill the whole link matrix with a single bandwidth/latency
+     * (homogeneous network).
+     */
+    void setUniformLinks(double bandwidth_bps, double latency_s);
+
+    /**
+     * Fill the link matrix from region assignments: intra-region pairs
+     * get the intra link, inter-region pairs get the inter link. The
+     * coordinator is placed in @p coordinator_region.
+     */
+    void connectRegions(LinkSpec intra, LinkSpec inter,
+                        int coordinator_region = 0);
+
+    /** Region the coordinator lives in (set by connectRegions). */
+    int coordinatorRegion() const { return coordRegion; }
+
+    /** Sum of node compute capacities in TFLOPs. */
+    double totalTflops() const;
+
+    /** One-line summary, e.g. "4xA100 + 8xL4 + 12xT4 (24 nodes)". */
+    std::string summary() const;
+
+  private:
+    /** Map an endpoint (kCoordinator or node index) to a matrix row. */
+    int matrixIndex(NodeIndex index) const;
+
+    std::vector<NodeSpec> nodes;
+    /** (numNodes+1)^2 links; row/col 0 is the coordinator. */
+    std::vector<LinkSpec> links;
+    int coordRegion = 0;
+};
+
+/** Generators for the paper's evaluated cluster configurations. */
+namespace setups {
+
+/** Gb/s to bits per second. */
+constexpr double kGbps = 1e9;
+/** Mb/s to bits per second. */
+constexpr double kMbps = 1e6;
+
+/**
+ * Single-cluster setup (Sec. 6.3): 4 A100 + 8 L4 + 12 T4 nodes, all
+ * links 10 Gb/s with ~1 ms latency.
+ */
+ClusterSpec singleCluster24();
+
+/**
+ * Geo-distributed setup (Sec. 6.4): three sub-clusters — (i) 4 A100,
+ * (ii) 2 L4 + 8 T4, (iii) 6 L4 + 4 T4. Intra-cluster 10 Gb/s / 1 ms,
+ * inter-cluster 100 Mb/s / 50 ms.
+ */
+ClusterSpec geoDistributed24();
+
+/**
+ * High GPU-heterogeneity setup (Sec. 6.5): 42 nodes with 7 types —
+ * 4 A100, 6 V100, 8 L4, 10 T4, 4 2xL4, 6 2xT4, 4 4xT4; 10 Gb/s.
+ */
+ClusterSpec highHeterogeneity42();
+
+/**
+ * Small planner cluster used in Sec. 6.9 / Fig. 12: 4 L4 + 6 T4,
+ * 10 Gb/s.
+ */
+ClusterSpec plannerCluster10();
+
+} // namespace setups
+
+} // namespace cluster
+} // namespace helix
+
+#endif // HELIX_CLUSTER_CLUSTER_H

@@ -1,0 +1,51 @@
+#include "cluster/gpu.h"
+
+namespace helix {
+namespace cluster {
+namespace gpus {
+
+GpuSpec
+h100()
+{
+    return {"H100", 1979.0, 80.0, 3350.0, 700.0};
+}
+
+GpuSpec
+a100_80()
+{
+    return {"A100-80GB", 312.0, 80.0, 2039.0, 400.0};
+}
+
+GpuSpec
+a100_40()
+{
+    return {"A100", 312.0, 40.0, 1555.0, 400.0};
+}
+
+GpuSpec
+v100()
+{
+    return {"V100", 125.0, 16.0, 900.0, 300.0};
+}
+
+GpuSpec
+l4()
+{
+    return {"L4", 242.0, 24.0, 300.0, 72.0};
+}
+
+GpuSpec
+t4()
+{
+    return {"T4", 65.0, 16.0, 300.0, 70.0};
+}
+
+std::vector<GpuSpec>
+all()
+{
+    return {h100(), a100_80(), a100_40(), v100(), l4(), t4()};
+}
+
+} // namespace gpus
+} // namespace cluster
+} // namespace helix

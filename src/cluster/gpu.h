@@ -1,0 +1,57 @@
+/**
+ * @file
+ * GPU device catalog with the datasheet properties from Table 3 of the
+ * paper (plus V100, used in the high-heterogeneity cluster).
+ */
+
+#ifndef HELIX_CLUSTER_GPU_H
+#define HELIX_CLUSTER_GPU_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace helix {
+namespace cluster {
+
+/** Datasheet properties of one GPU model (paper Table 3). */
+struct GpuSpec
+{
+    std::string name;
+    /** FP16 tensor throughput in TFLOPs (datasheet, as in Table 3). */
+    double tflopsFp16 = 0.0;
+    /** VRAM capacity in GiB. */
+    double memoryGiB = 0.0;
+    /** Memory bandwidth in GB/s. */
+    double memBandwidthGBs = 0.0;
+    /** Board power in watts (for the Table 3 dump only). */
+    double powerW = 0.0;
+
+    /** VRAM capacity in bytes. */
+    int64_t
+    memoryBytes() const
+    {
+        return static_cast<int64_t>(memoryGiB * 1024.0 * 1024.0 *
+                                    1024.0);
+    }
+};
+
+/** Named constructors for the GPUs referenced by the paper. */
+namespace gpus {
+
+GpuSpec h100();
+GpuSpec a100_80();
+GpuSpec a100_40();
+GpuSpec v100();
+GpuSpec l4();
+GpuSpec t4();
+
+/** All catalog entries (for the Table 3 property dump). */
+std::vector<GpuSpec> all();
+
+} // namespace gpus
+
+} // namespace cluster
+} // namespace helix
+
+#endif // HELIX_CLUSTER_GPU_H

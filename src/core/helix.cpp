@@ -1,0 +1,135 @@
+#include "core/helix.h"
+
+#include "util/logging.h"
+
+namespace helix {
+
+Deployment::Deployment(cluster::ClusterSpec cluster_spec,
+                       model::TransformerSpec model_spec,
+                       placement::Planner &planner,
+                       cluster::CostModelParams cost_params)
+    : cluster(std::move(cluster_spec)), model(std::move(model_spec)),
+      prof(model, cost_params)
+{
+    replan(planner);
+}
+
+void
+Deployment::replan(placement::Planner &planner)
+{
+    plan = planner.plan(cluster, prof);
+    planner_name = planner.name();
+    rebuildTopology();
+}
+
+void
+Deployment::usePlacement(const placement::ModelPlacement &placement)
+{
+    plan = placement;
+    planner_name = "external";
+    rebuildTopology();
+}
+
+void
+Deployment::rebuildTopology()
+{
+    placement::PlacementGraph graph(cluster, prof, plan);
+    graph.maxThroughput();
+    topo = std::make_unique<scheduler::Topology>(cluster, prof, plan,
+                                                 graph);
+}
+
+double
+Deployment::plannedThroughput() const
+{
+    return topo->maxFlow();
+}
+
+const char *
+toString(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::Helix:           return "helix";
+      case SchedulerKind::Swarm:           return "swarm";
+      case SchedulerKind::Random:          return "random";
+      case SchedulerKind::ShortestQueue:   return "shortest-queue";
+      case SchedulerKind::FixedRoundRobin: return "fixed-rr";
+    }
+    return "?";
+}
+
+std::unique_ptr<scheduler::RequestScheduler>
+makeScheduler(const Deployment &deployment, SchedulerKind kind,
+              scheduler::SchedulerConfig config)
+{
+    const scheduler::Topology &topo = deployment.topology();
+    switch (kind) {
+      case SchedulerKind::Helix:
+        return std::make_unique<scheduler::HelixScheduler>(topo,
+                                                           config);
+      case SchedulerKind::Swarm:
+        return std::make_unique<scheduler::WalkScheduler>(
+            topo, scheduler::WalkPolicy::ThroughputProportional,
+            config);
+      case SchedulerKind::Random:
+        return std::make_unique<scheduler::WalkScheduler>(
+            topo, scheduler::WalkPolicy::Random, config);
+      case SchedulerKind::ShortestQueue:
+        return std::make_unique<scheduler::WalkScheduler>(
+            topo, scheduler::WalkPolicy::ShortestQueue, config);
+      case SchedulerKind::FixedRoundRobin: {
+        auto pipelines = scheduler::derivePipelines(
+            deployment.placement(),
+            deployment.modelSpec().numLayers);
+        return std::make_unique<scheduler::FixedPipelineScheduler>(
+            topo, std::move(pipelines), config);
+      }
+    }
+    HELIX_PANIC("unknown scheduler kind");
+}
+
+std::vector<trace::Request>
+makeTrace(const Deployment &deployment, const RunConfig &config)
+{
+    double peak = deployment.plannedThroughput();
+    double mean_request_tokens = config.lengths.targetMeanPrompt +
+                                 config.lengths.targetMeanOutput;
+    double utilization = config.utilization > 0.0
+                             ? config.utilization
+                             : (config.online ? 0.75 : 3.0);
+    double rate = config.requestRate > 0.0
+                      ? config.requestRate
+                      : utilization * peak / mean_request_tokens;
+    if (rate <= 0.0) {
+        HELIX_WARN("deployment has zero planned throughput; "
+                   "generating an empty trace");
+        return {};
+    }
+    double duration =
+        (config.warmupSeconds + config.measureSeconds) * 1.02;
+    trace::TraceGenerator generator(config.seed, config.lengths);
+    if (config.online) {
+        trace::DiurnalArrivals arrivals(rate, 0.25, 1800.0);
+        return generator.generate(duration, arrivals);
+    }
+    trace::PoissonArrivals arrivals(rate);
+    return generator.generate(duration, arrivals);
+}
+
+sim::SimMetrics
+runExperiment(const Deployment &deployment,
+              scheduler::RequestScheduler &scheduler,
+              const RunConfig &config)
+{
+    sim::SimConfig sim_config;
+    sim_config.warmupSeconds = config.warmupSeconds;
+    sim_config.measureSeconds = config.measureSeconds;
+    sim_config.collectLinkStats = config.collectLinkStats;
+    sim::ClusterSimulator simulator(
+        deployment.clusterSpec(), deployment.profiler(),
+        deployment.placement(), scheduler, sim_config);
+    auto requests = makeTrace(deployment, config);
+    return simulator.run(requests);
+}
+
+} // namespace helix

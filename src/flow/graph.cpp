@@ -1,0 +1,73 @@
+#include "flow/graph.h"
+
+#include "util/logging.h"
+
+namespace helix {
+namespace flow {
+
+NodeId
+FlowGraph::addNode(std::string label)
+{
+    adjacency.emplace_back();
+    labels.push_back(std::move(label));
+    return static_cast<NodeId>(adjacency.size() - 1);
+}
+
+EdgeId
+FlowGraph::addEdge(NodeId from, NodeId to, double capacity)
+{
+    HELIX_ASSERT(from >= 0 && static_cast<size_t>(from) < numNodes());
+    HELIX_ASSERT(to >= 0 && static_cast<size_t>(to) < numNodes());
+    HELIX_ASSERT(capacity >= 0.0);
+    EdgeId forward = static_cast<EdgeId>(edges.size());
+    edges.push_back({from, to, capacity, capacity});
+    edges.push_back({to, from, 0.0, 0.0});
+    adjacency[from].push_back(forward);
+    adjacency[to].push_back(forward + 1);
+    return forward;
+}
+
+const std::vector<EdgeId> &
+FlowGraph::outEdges(NodeId node) const
+{
+    HELIX_ASSERT(node >= 0 && static_cast<size_t>(node) < numNodes());
+    return adjacency[node];
+}
+
+const std::string &
+FlowGraph::nodeLabel(NodeId node) const
+{
+    HELIX_ASSERT(node >= 0 && static_cast<size_t>(node) < numNodes());
+    return labels[node];
+}
+
+double
+FlowGraph::flowOn(EdgeId forward_edge) const
+{
+    HELIX_ASSERT(forward_edge >= 0 &&
+                 static_cast<size_t>(forward_edge) < edges.size());
+    HELIX_ASSERT((forward_edge & 1) == 0);
+    const Edge &e = edges[forward_edge];
+    return e.originalCapacity - e.capacity;
+}
+
+void
+FlowGraph::resetFlow()
+{
+    for (auto &e : edges)
+        e.capacity = e.originalCapacity;
+}
+
+double
+FlowGraph::outCapacity(NodeId node) const
+{
+    double total = 0.0;
+    for (EdgeId id : outEdges(node)) {
+        if ((id & 1) == 0)
+            total += edges[id].originalCapacity;
+    }
+    return total;
+}
+
+} // namespace flow
+} // namespace helix

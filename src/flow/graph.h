@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Directed weighted graph with residual-edge bookkeeping, shared by the
+ * max-flow solvers and the placement graph builder.
+ *
+ * Capacities are doubles because Helix edge capacities are tokens per
+ * second derived from profiling (Sec. 4.3 of the paper) and are not
+ * naturally integral.
+ */
+
+#ifndef HELIX_FLOW_GRAPH_H
+#define HELIX_FLOW_GRAPH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace helix {
+namespace flow {
+
+/** Index of a vertex in a FlowGraph. */
+using NodeId = int32_t;
+
+/** Index of a directed edge in a FlowGraph. */
+using EdgeId = int32_t;
+
+constexpr NodeId kInvalidNode = -1;
+constexpr EdgeId kInvalidEdge = -1;
+
+/** Tolerance used when comparing flow values. */
+constexpr double kFlowEps = 1e-9;
+
+/**
+ * A directed edge paired with its residual reverse edge. Forward edges
+ * have even ids; their residual twins have odd ids (id ^ 1).
+ */
+struct Edge
+{
+    NodeId from = kInvalidNode;
+    NodeId to = kInvalidNode;
+    /** Remaining residual capacity. */
+    double capacity = 0.0;
+    /** Original capacity at creation time (0 for residual twins). */
+    double originalCapacity = 0.0;
+};
+
+/**
+ * Residual flow network. Vertices are dense integer ids assigned by
+ * addNode(); each addEdge() creates a forward edge and a zero-capacity
+ * residual twin.
+ */
+class FlowGraph
+{
+  public:
+    FlowGraph() = default;
+
+    /** Create an isolated vertex and return its id. */
+    NodeId addNode(std::string label = "");
+
+    /** Number of vertices. */
+    size_t numNodes() const { return adjacency.size(); }
+
+    /** Number of user-added (forward) edges. */
+    size_t numEdges() const { return edges.size() / 2; }
+
+    /**
+     * Add a directed edge with the given capacity. A residual twin with
+     * zero capacity is added automatically.
+     * @return the id of the forward edge (always even).
+     */
+    EdgeId addEdge(NodeId from, NodeId to, double capacity);
+
+    /** Access an edge (forward or residual) by id. */
+    const Edge &edge(EdgeId id) const { return edges[id]; }
+    Edge &edge(EdgeId id) { return edges[id]; }
+
+    /** Ids of all edges (forward and residual) leaving @p node. */
+    const std::vector<EdgeId> &outEdges(NodeId node) const;
+
+    /** Human-readable label attached to @p node. */
+    const std::string &nodeLabel(NodeId node) const;
+
+    /**
+     * Flow currently on a forward edge, i.e. how much of its original
+     * capacity has been consumed: original - residual.
+     */
+    double flowOn(EdgeId forward_edge) const;
+
+    /** Restore every edge's residual capacity to its original value. */
+    void resetFlow();
+
+    /** Total capacity leaving @p node over forward edges. */
+    double outCapacity(NodeId node) const;
+
+  private:
+    std::vector<Edge> edges;
+    std::vector<std::vector<EdgeId>> adjacency;
+    std::vector<std::string> labels;
+};
+
+} // namespace flow
+} // namespace helix
+
+#endif // HELIX_FLOW_GRAPH_H

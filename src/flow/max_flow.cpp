@@ -1,0 +1,467 @@
+#include "flow/max_flow.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace helix {
+namespace flow {
+
+PreflowPush::PreflowPush(FlowGraph &g) : graph(g)
+{
+}
+
+void
+PreflowPush::activate(NodeId node)
+{
+    int lbl = label[node];
+    if (lbl >= static_cast<int>(buckets.size()))
+        buckets.resize(lbl + 1);
+    buckets[lbl].push_back(node);
+    highestActive = std::max(highestActive, lbl);
+}
+
+void
+PreflowPush::push(EdgeId edge_id)
+{
+    Edge &e = graph.edge(edge_id);
+    Edge &rev = graph.edge(edge_id ^ 1);
+    double amount = std::min(excess[e.from], e.capacity);
+    e.capacity -= amount;
+    rev.capacity += amount;
+    excess[e.from] -= amount;
+    excess[e.to] += amount;
+}
+
+void
+PreflowPush::relabel(NodeId node)
+{
+    int min_label = std::numeric_limits<int>::max();
+    for (EdgeId id : graph.outEdges(node)) {
+        const Edge &e = graph.edge(id);
+        if (e.capacity > kFlowEps)
+            min_label = std::min(min_label, label[e.to]);
+    }
+    int old = label[node];
+    --labelCount[old];
+    if (min_label == std::numeric_limits<int>::max()) {
+        label[node] = static_cast<int>(2 * graph.numNodes());
+    } else {
+        label[node] = min_label + 1;
+    }
+    int n = static_cast<int>(graph.numNodes());
+    if (label[node] < 2 * n + 1) {
+        if (static_cast<size_t>(label[node]) >= labelCount.size())
+            labelCount.resize(label[node] + 1, 0);
+        ++labelCount[label[node]];
+    }
+    // Gap heuristic: if no node remains at the old label and the old
+    // label is below n, every node with a larger label (below n) can
+    // never reach the sink again; lift them above n.
+    if (old < n && labelCount[old] == 0) {
+        for (NodeId v = 0; v < n; ++v) {
+            if (label[v] > old && label[v] < n) {
+                --labelCount[label[v]];
+                label[v] = n + 1;
+                if (static_cast<size_t>(label[v]) >= labelCount.size())
+                    labelCount.resize(label[v] + 1, 0);
+                ++labelCount[label[v]];
+            }
+        }
+    }
+    currentArc[node] = 0;
+    workSinceRelabel += 12;
+}
+
+void
+PreflowPush::globalRelabel(NodeId source, NodeId sink)
+{
+    int n = static_cast<int>(graph.numNodes());
+    std::fill(label.begin(), label.end(), 2 * n);
+    labelCount.assign(2 * n + 2, 0);
+    label[sink] = 0;
+    std::deque<NodeId> queue{sink};
+    while (!queue.empty()) {
+        NodeId u = queue.front();
+        queue.pop_front();
+        for (EdgeId id : graph.outEdges(u)) {
+            // Traverse edges backwards: v can reach u if the residual
+            // edge v->u has capacity, i.e. the twin of u->v does.
+            const Edge &twin = graph.edge(id ^ 1);
+            NodeId v = twin.from;
+            if (v != u) {
+                // Twin edges from v to u: check residual capacity.
+                if (twin.capacity > kFlowEps && label[v] == 2 * n &&
+                    v != source) {
+                    label[v] = label[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    label[source] = n;
+    for (NodeId v = 0; v < n; ++v) {
+        if (label[v] <= 2 * n + 1)
+            ++labelCount[label[v]];
+    }
+    std::fill(currentArc.begin(), currentArc.end(), 0);
+    // Rebuild the active buckets from scratch.
+    buckets.assign(2 * n + 2, {});
+    highestActive = 0;
+    for (NodeId v = 0; v < n; ++v) {
+        if (v != source && v != sink && excess[v] > kFlowEps &&
+            label[v] < 2 * n) {
+            activate(v);
+        }
+    }
+    workSinceRelabel = 0;
+}
+
+void
+PreflowPush::discharge(NodeId node, NodeId source, NodeId sink)
+{
+    int n = static_cast<int>(graph.numNodes());
+    while (excess[node] > kFlowEps) {
+        const auto &out = graph.outEdges(node);
+        if (currentArc[node] >= out.size()) {
+            relabel(node);
+            if (label[node] >= 2 * n)
+                return; // Unreachable from sink; excess stays put.
+            continue;
+        }
+        EdgeId id = out[currentArc[node]];
+        const Edge &e = graph.edge(id);
+        if (e.capacity > kFlowEps && label[node] == label[e.to] + 1) {
+            bool to_was_inactive = excess[e.to] <= kFlowEps;
+            push(id);
+            workSinceRelabel += 1;
+            if (to_was_inactive && e.to != source && e.to != sink &&
+                excess[e.to] > kFlowEps) {
+                activate(e.to);
+            }
+        } else {
+            ++currentArc[node];
+        }
+    }
+}
+
+double
+PreflowPush::solve(NodeId source, NodeId sink)
+{
+    HELIX_ASSERT(source != sink);
+    size_t n = graph.numNodes();
+    excess.assign(n, 0.0);
+    label.assign(n, 0);
+    currentArc.assign(n, 0);
+    labelCount.assign(2 * n + 2, 0);
+    buckets.assign(2 * n + 2, {});
+    highestActive = 0;
+
+    label[source] = static_cast<int>(n);
+    labelCount[0] = static_cast<int>(n) - 1;
+    labelCount[n] = 1;
+
+    // Saturate all edges out of the source.
+    for (EdgeId id : graph.outEdges(source)) {
+        if ((id & 1) == 0) {
+            Edge &e = graph.edge(id);
+            if (e.capacity > kFlowEps) {
+                excess[source] += e.capacity;
+                push(id);
+                if (e.to != sink && excess[e.to] > kFlowEps)
+                    activate(e.to);
+            }
+        }
+    }
+
+    const long relabel_interval = 6 * static_cast<long>(n) +
+                                  static_cast<long>(graph.numEdges());
+
+    while (highestActive >= 0) {
+        if (workSinceRelabel > relabel_interval)
+            globalRelabel(source, sink);
+        while (highestActive >= 0 &&
+               (static_cast<size_t>(highestActive) >= buckets.size() ||
+                buckets[highestActive].empty())) {
+            --highestActive;
+        }
+        if (highestActive < 0)
+            break;
+        NodeId node = buckets[highestActive].back();
+        buckets[highestActive].pop_back();
+        if (node == source || node == sink)
+            continue;
+        if (excess[node] <= kFlowEps || label[node] != highestActive)
+            continue; // Stale bucket entry.
+        discharge(node, source, sink);
+    }
+
+    double value = excess[sink];
+    convertToFlow(source, sink);
+    return value;
+}
+
+void
+PreflowPush::convertToFlow(NodeId source, NodeId sink)
+{
+    // Phase 2: nodes parked at label >= 2n may still hold excess that
+    // never reached the sink. Return it to the source by cancelling
+    // flow along residual walks, so the recorded edge flows satisfy
+    // conservation (required by flow decomposition and IWRR weights).
+    size_t n = graph.numNodes();
+    // Edge capacities may span many orders of magnitude (coordinator
+    // token links vs. compute edges), so use a scale-aware tolerance
+    // to absorb floating-point cancellation.
+    double scale = 0.0;
+    for (size_t id = 0; id < 2 * graph.numEdges(); id += 2) {
+        scale = std::max(
+            scale, graph.edge(static_cast<EdgeId>(id)).originalCapacity);
+    }
+    const double tol = std::max(kFlowEps, 1e-9 * scale);
+    std::vector<int> visited(n, 0);
+    int stamp = 0;
+    for (NodeId v = 0; v < static_cast<NodeId>(n); ++v) {
+        if (v == source || v == sink)
+            continue;
+        while (excess[v] > tol) {
+            // Walk backwards along flow-carrying edges towards source.
+            ++stamp;
+            std::vector<EdgeId> walk_twins; // residual twins taken
+            std::vector<NodeId> walk_nodes{v};
+            visited[v] = stamp;
+            NodeId at = v;
+            NodeId cycle_at = kInvalidNode;
+            while (at != source) {
+                // Follow the thickest incoming flow edge; picking an
+                // arbitrary positive edge risks chasing numerical
+                // noise on saturated high-capacity links.
+                EdgeId chosen = kInvalidEdge;
+                double best_flow = kFlowEps;
+                for (EdgeId id : graph.outEdges(at)) {
+                    if ((id & 1) == 1) {
+                        double f = graph.flowOn(id ^ 1);
+                        if (f > best_flow) {
+                            best_flow = f;
+                            chosen = id;
+                        }
+                    }
+                }
+                if (chosen == kInvalidEdge) {
+                    if (excess[v] <= 2.0 * tol) {
+                        // Residual rounding noise; drop it.
+                        excess[v] = 0.0;
+                        break;
+                    }
+                    HELIX_PANIC("stranded excess with no incoming flow "
+                                "at node %d", at);
+                }
+                walk_twins.push_back(chosen);
+                at = graph.edge(chosen).to;
+                walk_nodes.push_back(at);
+                if (at != source && visited[at] == stamp) {
+                    cycle_at = at;
+                    break;
+                }
+                visited[at] = stamp;
+            }
+            if (cycle_at != kInvalidNode) {
+                // Cancel the flow cycle and retry the walk.
+                size_t start = 0;
+                while (walk_nodes[start] != cycle_at)
+                    ++start;
+                double delta = std::numeric_limits<double>::max();
+                for (size_t i = start; i < walk_twins.size(); ++i)
+                    delta = std::min(delta,
+                                     graph.flowOn(walk_twins[i] ^ 1));
+                for (size_t i = start; i < walk_twins.size(); ++i) {
+                    graph.edge(walk_twins[i] ^ 1).capacity += delta;
+                    graph.edge(walk_twins[i]).capacity -= delta;
+                }
+                continue;
+            }
+            // Cancel min(excess, path bottleneck) along the walk.
+            double delta = excess[v];
+            for (EdgeId twin : walk_twins)
+                delta = std::min(delta, graph.flowOn(twin ^ 1));
+            for (EdgeId twin : walk_twins) {
+                graph.edge(twin ^ 1).capacity += delta;
+                graph.edge(twin).capacity -= delta;
+            }
+            excess[v] -= delta;
+            excess[source] += delta;
+        }
+    }
+}
+
+Dinic::Dinic(FlowGraph &g) : graph(g)
+{
+}
+
+bool
+Dinic::buildLevels(NodeId source, NodeId sink)
+{
+    level.assign(graph.numNodes(), -1);
+    level[source] = 0;
+    std::deque<NodeId> queue{source};
+    while (!queue.empty()) {
+        NodeId u = queue.front();
+        queue.pop_front();
+        for (EdgeId id : graph.outEdges(u)) {
+            const Edge &e = graph.edge(id);
+            if (e.capacity > kFlowEps && level[e.to] < 0) {
+                level[e.to] = level[u] + 1;
+                queue.push_back(e.to);
+            }
+        }
+    }
+    return level[sink] >= 0;
+}
+
+double
+Dinic::augment(NodeId node, NodeId sink, double limit)
+{
+    if (node == sink)
+        return limit;
+    const auto &out = graph.outEdges(node);
+    for (; nextArc[node] < out.size(); ++nextArc[node]) {
+        EdgeId id = out[nextArc[node]];
+        Edge &e = graph.edge(id);
+        if (e.capacity > kFlowEps && level[e.to] == level[node] + 1) {
+            double pushed = augment(e.to, sink,
+                                    std::min(limit, e.capacity));
+            if (pushed > kFlowEps) {
+                e.capacity -= pushed;
+                graph.edge(id ^ 1).capacity += pushed;
+                return pushed;
+            }
+        }
+    }
+    return 0.0;
+}
+
+double
+Dinic::solve(NodeId source, NodeId sink)
+{
+    HELIX_ASSERT(source != sink);
+    double total = 0.0;
+    while (buildLevels(source, sink)) {
+        nextArc.assign(graph.numNodes(), 0);
+        for (;;) {
+            double pushed = augment(
+                source, sink, std::numeric_limits<double>::max());
+            if (pushed <= kFlowEps)
+                break;
+            total += pushed;
+        }
+    }
+    return total;
+}
+
+std::vector<bool>
+minCutSourceSide(const FlowGraph &graph, NodeId source)
+{
+    std::vector<bool> reachable(graph.numNodes(), false);
+    reachable[source] = true;
+    std::deque<NodeId> queue{source};
+    while (!queue.empty()) {
+        NodeId u = queue.front();
+        queue.pop_front();
+        for (EdgeId id : graph.outEdges(u)) {
+            const Edge &e = graph.edge(id);
+            if (e.capacity > kFlowEps && !reachable[e.to]) {
+                reachable[e.to] = true;
+                queue.push_back(e.to);
+            }
+        }
+    }
+    return reachable;
+}
+
+std::vector<FlowPath>
+decomposeFlow(const FlowGraph &graph, NodeId source, NodeId sink)
+{
+    // Work on a copy of the per-edge flow amounts.
+    size_t total_edges = graph.numEdges() * 2;
+    std::vector<double> remaining(total_edges, 0.0);
+    for (size_t id = 0; id < total_edges; id += 2)
+        remaining[id] = graph.flowOn(static_cast<EdgeId>(id));
+
+    // Scale-aware threshold: flows below this are numerical noise
+    // left behind by solves on graphs mixing huge coordinator-link
+    // capacities with small compute capacities.
+    double scale = 0.0;
+    for (size_t id = 0; id < total_edges; id += 2) {
+        scale = std::max(
+            scale, graph.edge(static_cast<EdgeId>(id)).originalCapacity);
+    }
+    const double tol = std::max(kFlowEps, 1e-9 * scale);
+
+    std::vector<FlowPath> paths;
+    for (;;) {
+        // Follow the thickest positive-flow forward edge from the
+        // source. Every iteration either extracts a path, cancels a
+        // cycle, or zeroes a dead-end edge, so progress is guaranteed.
+        std::vector<NodeId> path_nodes{source};
+        std::vector<EdgeId> path_edges;
+        NodeId at = source;
+        std::vector<bool> visited(graph.numNodes(), false);
+        visited[source] = true;
+        bool reached_sink = false;
+        bool hit_cycle = false;
+        while (true) {
+            EdgeId chosen = kInvalidEdge;
+            double best_flow = tol;
+            for (EdgeId id : graph.outEdges(at)) {
+                if ((id & 1) == 0 && remaining[id] > best_flow) {
+                    best_flow = remaining[id];
+                    chosen = id;
+                }
+            }
+            if (chosen == kInvalidEdge)
+                break;
+            const Edge &e = graph.edge(chosen);
+            path_edges.push_back(chosen);
+            path_nodes.push_back(e.to);
+            at = e.to;
+            if (at == sink) {
+                reached_sink = true;
+                break;
+            }
+            if (visited[at]) {
+                hit_cycle = true;
+                break;
+            }
+            visited[at] = true;
+        }
+        if (path_edges.empty())
+            break;
+        double bottleneck = std::numeric_limits<double>::max();
+        if (reached_sink) {
+            for (EdgeId id : path_edges)
+                bottleneck = std::min(bottleneck, remaining[id]);
+            for (EdgeId id : path_edges)
+                remaining[id] -= bottleneck;
+            paths.push_back({std::move(path_nodes), bottleneck});
+        } else if (hit_cycle) {
+            // Cancel the cycle portion: find where the cycle starts.
+            size_t start = 0;
+            while (path_nodes[start] != at)
+                ++start;
+            for (size_t i = start; i < path_edges.size(); ++i)
+                bottleneck = std::min(bottleneck, remaining[path_edges[i]]);
+            for (size_t i = start; i < path_edges.size(); ++i)
+                remaining[path_edges[i]] -= bottleneck;
+        } else {
+            // Dead end: the trailing edge carries flow that never
+            // reaches the sink (numerical remnant); drop it so the
+            // walk cannot repeat.
+            remaining[path_edges.back()] = 0.0;
+        }
+    }
+    return paths;
+}
+
+} // namespace flow
+} // namespace helix

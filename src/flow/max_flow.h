@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Max-flow solvers.
+ *
+ * The primary solver is preflow-push (a.k.a. push-relabel) with the
+ * highest-label selection rule, the gap heuristic, and periodic global
+ * relabeling — the algorithm the Helix paper cites for evaluating the
+ * serving throughput of a model placement (Sec. 4.3). A Dinic's
+ * algorithm implementation is provided as an independent verification
+ * oracle for tests.
+ */
+
+#ifndef HELIX_FLOW_MAX_FLOW_H
+#define HELIX_FLOW_MAX_FLOW_H
+
+#include <vector>
+
+#include "flow/graph.h"
+
+namespace helix {
+namespace flow {
+
+/**
+ * Preflow-push max-flow. Mutates the graph's residual capacities; call
+ * FlowGraph::resetFlow() to solve again from scratch.
+ */
+class PreflowPush
+{
+  public:
+    /**
+     * @param graph residual network to operate on (held by reference;
+     *              must outlive the solver)
+     */
+    explicit PreflowPush(FlowGraph &graph);
+
+    /**
+     * Compute the maximum flow from @p source to @p sink.
+     * @return the max-flow value in capacity units (tokens/second for
+     *         Helix placement graphs).
+     */
+    double solve(NodeId source, NodeId sink);
+
+  private:
+    /** Push as much excess as possible across @p edge_id. */
+    void push(EdgeId edge_id);
+
+    /** Raise a node's label to one more than its lowest neighbor. */
+    void relabel(NodeId node);
+
+    /** Recompute exact distance labels with reverse BFS from sink. */
+    void globalRelabel(NodeId source, NodeId sink);
+
+    /** Discharge all excess at @p node. */
+    void discharge(NodeId node, NodeId source, NodeId sink);
+
+    /**
+     * Phase 2 of preflow-push: return stranded excess to the source so
+     * the recorded edge flows form a valid (conserved) max flow.
+     */
+    void convertToFlow(NodeId source, NodeId sink);
+
+    /** Move a node into its label's active bucket. */
+    void activate(NodeId node);
+
+    FlowGraph &graph;
+    std::vector<double> excess;
+    std::vector<int> label;
+    std::vector<size_t> currentArc;
+    /** Active-node buckets indexed by label (highest-label rule). */
+    std::vector<std::vector<NodeId>> buckets;
+    /** Count of nodes per label, for the gap heuristic. */
+    std::vector<int> labelCount;
+    int highestActive = 0;
+    long workSinceRelabel = 0;
+};
+
+/**
+ * Dinic's max-flow, used to cross-check PreflowPush in tests. Mutates
+ * the graph's residual capacities.
+ */
+class Dinic
+{
+  public:
+    explicit Dinic(FlowGraph &graph);
+
+    /** Compute the maximum flow from @p source to @p sink. */
+    double solve(NodeId source, NodeId sink);
+
+  private:
+    bool buildLevels(NodeId source, NodeId sink);
+    double augment(NodeId node, NodeId sink, double limit);
+
+    FlowGraph &graph;
+    std::vector<int> level;
+    std::vector<size_t> nextArc;
+};
+
+/**
+ * Identify the source side of a minimum cut after a max-flow has been
+ * computed on @p graph (vertices reachable from @p source in the
+ * residual network).
+ */
+std::vector<bool> minCutSourceSide(const FlowGraph &graph, NodeId source);
+
+/** A single source→sink path carrying @p amount units of flow. */
+struct FlowPath
+{
+    std::vector<NodeId> nodes;
+    double amount = 0.0;
+};
+
+/**
+ * Decompose the flow recorded on @p graph (after solving) into at most
+ * |E| simple source→sink paths. The graph is not modified.
+ */
+std::vector<FlowPath> decomposeFlow(const FlowGraph &graph, NodeId source,
+                                    NodeId sink);
+
+} // namespace flow
+} // namespace helix
+
+#endif // HELIX_FLOW_MAX_FLOW_H

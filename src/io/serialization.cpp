@@ -1,0 +1,199 @@
+#include "io/serialization.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace helix {
+namespace io {
+
+namespace {
+
+/** Replace spaces in names so tokens stay whitespace-delimited. */
+std::string
+escapeName(const std::string &name)
+{
+    std::string out = name;
+    for (char &c : out) {
+        if (c == ' ')
+            c = '_';
+    }
+    return out.empty() ? "_" : out;
+}
+
+} // namespace
+
+std::string
+clusterToString(const cluster::ClusterSpec &clus)
+{
+    std::ostringstream out;
+    out.precision(17);
+    out << "cluster v1\n";
+    for (int i = 0; i < clus.numNodes(); ++i) {
+        const cluster::NodeSpec &node = clus.node(i);
+        out << "node " << escapeName(node.name) << " "
+            << escapeName(node.gpu.name) << " " << node.gpu.tflopsFp16
+            << " " << node.gpu.memoryGiB << " "
+            << node.gpu.memBandwidthGBs << " " << node.gpu.powerW
+            << " " << node.numGpus << " " << node.region << "\n";
+    }
+    for (int from = cluster::kCoordinator; from < clus.numNodes();
+         ++from) {
+        for (int to = cluster::kCoordinator; to < clus.numNodes();
+             ++to) {
+            if (from == to)
+                continue;
+            const cluster::LinkSpec &link = clus.link(from, to);
+            out << "link " << from << " " << to << " "
+                << link.bandwidthBps << " " << link.latencyS << "\n";
+        }
+    }
+    return out.str();
+}
+
+std::optional<cluster::ClusterSpec>
+clusterFromString(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string header;
+    std::string version;
+    if (!(in >> header >> version) || header != "cluster" ||
+        version != "v1") {
+        return std::nullopt;
+    }
+    cluster::ClusterSpec clus;
+    struct PendingLink
+    {
+        int from;
+        int to;
+        cluster::LinkSpec spec;
+    };
+    std::vector<PendingLink> links;
+    std::string tag;
+    while (in >> tag) {
+        if (tag == "node") {
+            cluster::NodeSpec node;
+            if (!(in >> node.name >> node.gpu.name >>
+                  node.gpu.tflopsFp16 >> node.gpu.memoryGiB >>
+                  node.gpu.memBandwidthGBs >> node.gpu.powerW >>
+                  node.numGpus >> node.region)) {
+                return std::nullopt;
+            }
+            clus.addNode(std::move(node));
+        } else if (tag == "link") {
+            PendingLink link;
+            if (!(in >> link.from >> link.to >>
+                  link.spec.bandwidthBps >> link.spec.latencyS)) {
+                return std::nullopt;
+            }
+            links.push_back(link);
+        } else {
+            return std::nullopt;
+        }
+    }
+    if (clus.numNodes() == 0)
+        return std::nullopt;
+    clus.setUniformLinks(0.0, 0.0);
+    for (const PendingLink &link : links) {
+        if (link.from < cluster::kCoordinator ||
+            link.from >= clus.numNodes() ||
+            link.to < cluster::kCoordinator ||
+            link.to >= clus.numNodes() || link.from == link.to) {
+            return std::nullopt;
+        }
+        clus.setLink(link.from, link.to, link.spec);
+    }
+    return clus;
+}
+
+std::string
+placementToString(const placement::ModelPlacement &placement)
+{
+    std::ostringstream out;
+    out << "placement v1 " << placement.size() << "\n";
+    for (const auto &node : placement.nodes)
+        out << node.start << " " << node.count << "\n";
+    return out.str();
+}
+
+std::optional<placement::ModelPlacement>
+placementFromString(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string header;
+    std::string version;
+    size_t count = 0;
+    if (!(in >> header >> version >> count) || header != "placement" ||
+        version != "v1") {
+        return std::nullopt;
+    }
+    placement::ModelPlacement placement;
+    placement.nodes.resize(count);
+    for (size_t i = 0; i < count; ++i) {
+        if (!(in >> placement[i].start >> placement[i].count))
+            return std::nullopt;
+        if (placement[i].count < 0 || placement[i].start < 0)
+            return std::nullopt;
+    }
+    return placement;
+}
+
+std::string
+traceToString(const std::vector<trace::Request> &requests)
+{
+    std::ostringstream out;
+    out.precision(17);
+    out << "trace v1 " << requests.size() << "\n";
+    for (const auto &req : requests) {
+        out << req.id << " " << req.arrivalS << " " << req.promptLen
+            << " " << req.outputLen << "\n";
+    }
+    return out.str();
+}
+
+std::optional<std::vector<trace::Request>>
+traceFromString(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string header;
+    std::string version;
+    size_t count = 0;
+    if (!(in >> header >> version >> count) || header != "trace" ||
+        version != "v1") {
+        return std::nullopt;
+    }
+    std::vector<trace::Request> requests(count);
+    for (size_t i = 0; i < count; ++i) {
+        trace::Request &req = requests[i];
+        if (!(in >> req.id >> req.arrivalS >> req.promptLen >>
+              req.outputLen)) {
+            return std::nullopt;
+        }
+        if (req.promptLen < 0 || req.outputLen < 0)
+            return std::nullopt;
+    }
+    return requests;
+}
+
+bool
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    out << text;
+    return static_cast<bool>(out);
+}
+
+std::optional<std::string>
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+} // namespace io
+} // namespace helix

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Plain-text serialization of clusters, placements, and traces.
+ *
+ * Enables artifact-style reproducibility: a cluster description, the
+ * placement a planner produced, and the request trace of an experiment
+ * can be written to disk and reloaded bit-for-bit, so experiments can
+ * be re-run and placements audited without re-planning.
+ *
+ * Formats are line-oriented:
+ *
+ *   cluster v1
+ *   node <name> <gpu> <tflops> <memGiB> <bwGBs> <powerW> <gpus> <region>
+ *   link <from> <to> <bandwidthBps> <latencyS>     # -1 = coordinator
+ *
+ *   placement v1 <numNodes>
+ *   <start> <count>          # one line per node, in node order
+ *
+ *   trace v1 <numRequests>
+ *   <id> <arrivalS> <promptLen> <outputLen>
+ */
+
+#ifndef HELIX_IO_SERIALIZATION_H
+#define HELIX_IO_SERIALIZATION_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "placement/placement.h"
+#include "trace/trace.h"
+
+namespace helix {
+namespace io {
+
+/** Serialize a cluster (nodes + full link matrix). */
+std::string clusterToString(const cluster::ClusterSpec &cluster);
+
+/** Parse a cluster; nullopt on malformed input. */
+std::optional<cluster::ClusterSpec> clusterFromString(
+    const std::string &text);
+
+/** Serialize a model placement. */
+std::string placementToString(
+    const placement::ModelPlacement &placement);
+
+/** Parse a model placement; nullopt on malformed input. */
+std::optional<placement::ModelPlacement> placementFromString(
+    const std::string &text);
+
+/** Serialize a request trace. */
+std::string traceToString(const std::vector<trace::Request> &requests);
+
+/** Parse a request trace; nullopt on malformed input. */
+std::optional<std::vector<trace::Request>> traceFromString(
+    const std::string &text);
+
+/** Write @p text to @p path. @return false on I/O error. */
+bool writeFile(const std::string &path, const std::string &text);
+
+/** Read the whole file at @p path; nullopt on I/O error. */
+std::optional<std::string> readFile(const std::string &path);
+
+} // namespace io
+} // namespace helix
+
+#endif // HELIX_IO_SERIALIZATION_H

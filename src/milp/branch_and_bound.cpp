@@ -1,0 +1,328 @@
+#include "milp/branch_and_bound.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace helix {
+namespace milp {
+
+const char *
+toString(MilpStatus status)
+{
+    switch (status) {
+      case MilpStatus::Optimal:    return "optimal";
+      case MilpStatus::Feasible:   return "feasible";
+      case MilpStatus::Infeasible: return "infeasible";
+      case MilpStatus::Unknown:    return "unknown";
+    }
+    return "?";
+}
+
+int
+MilpProblem::addContinuous(double lower, double upper, double objective,
+                           std::string name)
+{
+    integral.push_back(false);
+    return relaxation.addVariable(lower, upper, objective,
+                                  std::move(name));
+}
+
+int
+MilpProblem::addInteger(double lower, double upper, double objective,
+                        std::string name)
+{
+    integral.push_back(true);
+    return relaxation.addVariable(lower, upper, objective,
+                                  std::move(name));
+}
+
+int
+MilpProblem::addBinary(double objective, std::string name)
+{
+    return addInteger(0.0, 1.0, objective, std::move(name));
+}
+
+void
+MilpProblem::addConstraint(std::vector<std::pair<int, double>> terms,
+                           lp::Relation relation, double rhs)
+{
+    relaxation.addConstraint(std::move(terms), relation, rhs);
+}
+
+bool
+MilpProblem::isFeasible(const std::vector<double> &values,
+                        double tol) const
+{
+    if (static_cast<int>(values.size()) != numVariables())
+        return false;
+    for (int v = 0; v < numVariables(); ++v) {
+        double x = values[v];
+        if (x < relaxation.lowerBound(v) - tol ||
+            x > relaxation.upperBound(v) + tol) {
+            return false;
+        }
+        if (integral[v] && std::fabs(x - std::round(x)) > tol)
+            return false;
+    }
+    for (int r = 0; r < numConstraints(); ++r) {
+        const lp::Constraint &con = relaxation.constraint(r);
+        double lhs = 0.0;
+        for (const auto &[var, coef] : con.terms)
+            lhs += coef * values[var];
+        switch (con.relation) {
+          case lp::Relation::LessEq:
+            if (lhs > con.rhs + tol)
+                return false;
+            break;
+          case lp::Relation::GreaterEq:
+            if (lhs < con.rhs - tol)
+                return false;
+            break;
+          case lp::Relation::Equal:
+            if (std::fabs(lhs - con.rhs) > tol)
+                return false;
+            break;
+        }
+    }
+    return true;
+}
+
+double
+MilpProblem::objectiveValue(const std::vector<double> &values) const
+{
+    double obj = 0.0;
+    for (int v = 0; v < numVariables(); ++v)
+        obj += relaxation.objectiveCoef(v) * values[v];
+    return obj;
+}
+
+namespace {
+
+/** Bound overrides accumulated along one branch of the search tree. */
+struct BoundSet
+{
+    std::vector<std::pair<int, std::pair<double, double>>> entries;
+};
+
+/** One open node of the branch-and-bound tree. */
+struct SearchNode
+{
+    double bound = 0.0; // parent LP objective (upper bound)
+    BoundSet bounds;
+    int depth = 0;
+};
+
+struct NodeCompare
+{
+    bool
+    operator()(const SearchNode &a, const SearchNode &b) const
+    {
+        // Best-first: larger bound first; deeper first on ties to
+        // reach incumbents quickly.
+        if (a.bound != b.bound)
+            return a.bound < b.bound;
+        return a.depth < b.depth;
+    }
+};
+
+} // namespace
+
+MilpResult
+BranchAndBound::solve(const MilpProblem &problem,
+                      const BnbConfig &config) const
+{
+    using Clock = std::chrono::steady_clock;
+    const auto start = Clock::now();
+    auto elapsed = [&] {
+        return std::chrono::duration<double>(Clock::now() - start)
+            .count();
+    };
+
+    MilpResult result;
+    lp::SimplexSolver simplex;
+
+    double incumbent_obj = -lp::LpProblem::kInfinity;
+    std::vector<double> incumbent;
+
+    auto record = [&](double bound) {
+        if (config.recordProgress) {
+            result.progress.push_back(
+                {elapsed(), incumbent_obj, bound});
+        }
+    };
+
+    // Seed the incumbent with the best feasible warm start.
+    for (const auto &hint : config.warmStarts) {
+        if (problem.isFeasible(hint)) {
+            double obj = problem.objectiveValue(hint);
+            if (obj > incumbent_obj) {
+                incumbent_obj = obj;
+                incumbent = hint;
+            }
+        }
+    }
+    if (incumbent_obj > -lp::LpProblem::kInfinity)
+        record(lp::LpProblem::kInfinity);
+
+    // Mutable copy of the LP used for node solves; bounds are applied
+    // and restored around each solve.
+    lp::LpProblem lp_work = problem.lp();
+
+    auto solveNode = [&](const BoundSet &bounds) {
+        std::vector<std::pair<int, std::pair<double, double>>> saved;
+        saved.reserve(bounds.entries.size());
+        for (const auto &[var, lohi] : bounds.entries) {
+            saved.push_back(
+                {var, {lp_work.lowerBound(var), lp_work.upperBound(var)}});
+            lp_work.setBounds(var, lohi.first, lohi.second);
+        }
+        lp::LpResult res = simplex.solve(lp_work);
+        for (auto it = saved.rbegin(); it != saved.rend(); ++it)
+            lp_work.setBounds(it->first, it->second.first,
+                              it->second.second);
+        return res;
+    };
+
+    std::priority_queue<SearchNode, std::vector<SearchNode>, NodeCompare>
+        open;
+    open.push({lp::LpProblem::kInfinity, {}, 0});
+
+    double best_open_bound = lp::LpProblem::kInfinity;
+    bool exhausted = false;
+    bool hit_limit = false;
+
+    while (!open.empty()) {
+        if (elapsed() > config.timeLimitSeconds ||
+            result.nodesExplored >= config.nodeLimit) {
+            hit_limit = true;
+            break;
+        }
+        SearchNode node = open.top();
+        open.pop();
+        best_open_bound = node.bound;
+
+        // Global early-stop checks against the incumbent.
+        if (incumbent_obj > -lp::LpProblem::kInfinity) {
+            if (node.bound <=
+                incumbent_obj * (1.0 + config.relativeGap) + 1e-12) {
+                exhausted = true;
+                break;
+            }
+            if (config.objectiveUpperBound &&
+                incumbent_obj >= *config.objectiveUpperBound *
+                                     config.earlyStopFraction) {
+                break;
+            }
+        }
+
+        lp::LpResult lp_res = solveNode(node.bounds);
+        ++result.nodesExplored;
+        result.lpIterations += lp_res.iterations;
+        if (lp_res.status == lp::LpStatus::Infeasible)
+            continue;
+        if (lp_res.status != lp::LpStatus::Optimal) {
+            // Unbounded relaxation or iteration limit: treat the node
+            // bound as unknown but do not claim optimality later.
+            hit_limit = true;
+            continue;
+        }
+        double node_bound = lp_res.objective;
+        if (incumbent_obj > -lp::LpProblem::kInfinity &&
+            node_bound <=
+                incumbent_obj * (1.0 + config.relativeGap) + 1e-12) {
+            continue;
+        }
+
+        // Find the most fractional integer variable.
+        int branch_var = -1;
+        double best_frac_dist = 1e-6;
+        for (int v = 0; v < problem.numVariables(); ++v) {
+            if (!problem.isIntegral(v))
+                continue;
+            double x = lp_res.values[v];
+            double frac = x - std::floor(x);
+            double dist = std::min(frac, 1.0 - frac);
+            if (dist > best_frac_dist) {
+                best_frac_dist = dist;
+                branch_var = v;
+            }
+        }
+
+        if (branch_var < 0) {
+            // Integral solution: round and accept as incumbent.
+            std::vector<double> values = lp_res.values;
+            for (int v = 0; v < problem.numVariables(); ++v) {
+                if (problem.isIntegral(v))
+                    values[v] = std::round(values[v]);
+            }
+            if (problem.isFeasible(values, 1e-5)) {
+                double obj = problem.objectiveValue(values);
+                if (obj > incumbent_obj) {
+                    incumbent_obj = obj;
+                    incumbent = std::move(values);
+                    record(node_bound);
+                }
+            }
+            continue;
+        }
+
+        // Branch: floor side and ceil side.
+        double x = lp_res.values[branch_var];
+        double lo = lp_work.lowerBound(branch_var);
+        double hi = lp_work.upperBound(branch_var);
+        for (const auto &[var, lohi] : node.bounds.entries) {
+            if (var == branch_var) {
+                lo = lohi.first;
+                hi = lohi.second;
+            }
+        }
+        double floor_x = std::floor(x);
+        if (floor_x >= lo - 1e-9) {
+            SearchNode child;
+            child.bound = node_bound;
+            child.bounds = node.bounds;
+            child.bounds.entries.push_back(
+                {branch_var, {lo, floor_x}});
+            child.depth = node.depth + 1;
+            open.push(std::move(child));
+        }
+        double ceil_x = std::ceil(x);
+        if (ceil_x <= hi + 1e-9) {
+            SearchNode child;
+            child.bound = node_bound;
+            child.bounds = node.bounds;
+            child.bounds.entries.push_back({branch_var, {ceil_x, hi}});
+            child.depth = node.depth + 1;
+            open.push(std::move(child));
+        }
+    }
+
+    if (open.empty())
+        exhausted = true;
+
+    result.wallSeconds = elapsed();
+    result.bound = exhausted ? incumbent_obj
+                             : std::min(best_open_bound,
+                                        lp::LpProblem::kInfinity);
+    if (incumbent_obj > -lp::LpProblem::kInfinity) {
+        result.objective = incumbent_obj;
+        result.values = incumbent;
+        result.status = (exhausted && !hit_limit)
+                            ? MilpStatus::Optimal
+                            : MilpStatus::Feasible;
+        if (exhausted && !hit_limit)
+            result.bound = incumbent_obj;
+    } else {
+        result.status = (exhausted && !hit_limit) ? MilpStatus::Infeasible
+                                                  : MilpStatus::Unknown;
+    }
+    record(result.bound);
+    return result;
+}
+
+} // namespace milp
+} // namespace helix

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Transformer model descriptions and the analytic cost model Helix
+ * uses in place of one-time hardware profiling.
+ *
+ * The paper profiles real GPUs once per cluster to obtain per-node
+ * inference throughput and link capacities (Sec. 4.3). Without GPUs we
+ * derive the same quantities analytically from the model architecture
+ * (parameters, FLOPs, KV-cache bytes per token) and GPU datasheet
+ * numbers (Table 3), using standard roofline reasoning: prompt phase
+ * is compute-bound, decode phase is bound by weight + KV-cache reads.
+ */
+
+#ifndef HELIX_MODEL_TRANSFORMER_H
+#define HELIX_MODEL_TRANSFORMER_H
+
+#include <cstdint>
+#include <string>
+
+namespace helix {
+namespace model {
+
+/**
+ * Architecture description of a decoder-only transformer. All derived
+ * quantities (parameter counts, FLOPs, KV bytes) are computed from
+ * these fields.
+ */
+struct TransformerSpec
+{
+    std::string name;
+    /** Number of transformer layers (L in the paper). */
+    int numLayers = 0;
+    /** Hidden state size. */
+    int hiddenSize = 0;
+    /** Number of attention (query) heads. */
+    int numHeads = 0;
+    /** Number of key/value heads (== numHeads unless GQA/MQA). */
+    int numKvHeads = 0;
+    /** Feed-forward intermediate size. */
+    int intermediateSize = 0;
+    /** Vocabulary size (embedding + output head). */
+    int vocabSize = 0;
+    /** Bytes per parameter / activation element (2 for FP16). */
+    int dtypeBytes = 2;
+    /**
+     * Whether the MLP is gated (SwiGLU-style, three projections) as in
+     * the LLaMA family, or classic two-projection GELU as in GPT-3.
+     */
+    bool gatedMlp = true;
+
+    /** Parameters in one transformer layer. */
+    int64_t paramsPerLayer() const;
+
+    /** Parameters in the input/output embeddings. */
+    int64_t embeddingParams() const;
+
+    /** Total parameter count. */
+    int64_t totalParams() const;
+
+    /** Bytes of weights for one layer. */
+    int64_t layerBytes() const { return paramsPerLayer() * dtypeBytes; }
+
+    /** Bytes of KV-cache stored per token per layer. */
+    int64_t kvBytesPerTokenPerLayer() const;
+
+    /** Bytes of the activation transmitted between pipeline stages
+     *  for one token. */
+    int64_t activationBytesPerToken() const
+    {
+        return static_cast<int64_t>(hiddenSize) * dtypeBytes;
+    }
+
+    /**
+     * Forward FLOPs for one token through one layer, ignoring the
+     * context-dependent attention term (which dominates only at very
+     * long context).
+     */
+    double flopsPerTokenPerLayer() const
+    {
+        return 2.0 * static_cast<double>(paramsPerLayer());
+    }
+
+    /**
+     * Context-dependent attention FLOPs for one token against a
+     * context of @p context_len tokens, per layer.
+     */
+    double attentionFlopsPerToken(int context_len) const;
+};
+
+/** Catalog of the models used in the paper's evaluation and Table 1. */
+namespace catalog {
+
+/** LLaMA-1 30B (the paper's "LLaMA 30B"). */
+TransformerSpec llama30b();
+
+/** LLaMA-2 70B (the paper's "LLaMA 70B", GQA with 8 KV heads). */
+TransformerSpec llama70b();
+
+/** GPT-3 175B (Table 1 row). */
+TransformerSpec gpt3_175b();
+
+/** Grok-1 314B dense-equivalent (Table 1 row). */
+TransformerSpec grok1_314b();
+
+/** LLaMA-3 405B (Table 1 row). */
+TransformerSpec llama3_405b();
+
+} // namespace catalog
+
+} // namespace model
+} // namespace helix
+
+#endif // HELIX_MODEL_TRANSFORMER_H

@@ -1,0 +1,76 @@
+#include "placement/placement.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace helix {
+namespace placement {
+
+std::string
+ModelPlacement::describe(const cluster::ClusterSpec &cluster) const
+{
+    std::ostringstream out;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        const NodePlacement &p = nodes[i];
+        out << cluster.node(static_cast<int>(i)).name << ": ";
+        if (p.count == 0) {
+            out << "(unused)";
+        } else {
+            out << "[" << p.start << ", " << p.end() << ") "
+                << p.count << " layers";
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+bool
+placementValid(const ModelPlacement &placement,
+               const cluster::ClusterSpec &cluster,
+               const cluster::Profiler &profiler)
+{
+    const int num_layers = profiler.modelSpec().numLayers;
+    if (static_cast<int>(placement.size()) != cluster.numNodes())
+        return false;
+    std::vector<int> coverage(num_layers, 0);
+    for (int i = 0; i < cluster.numNodes(); ++i) {
+        const NodePlacement &p = placement[i];
+        if (p.count == 0)
+            continue;
+        if (p.start < 0 || p.end() > num_layers)
+            return false;
+        if (p.count > profiler.hardMaxLayers(cluster.node(i)))
+            return false;
+        for (int layer = p.start; layer < p.end(); ++layer)
+            ++coverage[layer];
+    }
+    return std::all_of(coverage.begin(), coverage.end(),
+                       [](int c) { return c > 0; });
+}
+
+double
+bottleneckLayerThroughput(const ModelPlacement &placement,
+                          const cluster::ClusterSpec &cluster,
+                          const cluster::Profiler &profiler)
+{
+    const int num_layers = profiler.modelSpec().numLayers;
+    std::vector<double> coverage(num_layers, 0.0);
+    for (int i = 0; i < cluster.numNodes(); ++i) {
+        const NodePlacement &p = placement[i];
+        if (p.count == 0)
+            continue;
+        double throughput =
+            profiler.decodeThroughput(cluster.node(i), p.count);
+        for (int layer = p.start; layer < p.end(); ++layer)
+            coverage[layer] += throughput;
+    }
+    double worst = coverage.empty() ? 0.0 : coverage[0];
+    for (double c : coverage)
+        worst = std::min(worst, c);
+    return worst;
+}
+
+} // namespace placement
+} // namespace helix

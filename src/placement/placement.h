@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Model placement type: which contiguous block of transformer layers
+ * each compute node holds (the function Psi of Sec. 4.1).
+ */
+
+#ifndef HELIX_PLACEMENT_PLACEMENT_H
+#define HELIX_PLACEMENT_PLACEMENT_H
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/profiler.h"
+
+namespace helix {
+namespace placement {
+
+/** Layer interval [start, start + count) held by one node. */
+struct NodePlacement
+{
+    int start = 0;
+    int count = 0;
+
+    /** One past the last layer held (e_i in the paper). */
+    int end() const { return start + count; }
+
+    bool
+    operator==(const NodePlacement &other) const
+    {
+        return start == other.start && count == other.count;
+    }
+};
+
+/**
+ * A full model placement: one layer interval per compute node. Nodes
+ * with count == 0 are unused (allowed for the separate-pipelines
+ * baseline, which leaves some nodes idle).
+ */
+struct ModelPlacement
+{
+    std::vector<NodePlacement> nodes;
+
+    NodePlacement &operator[](size_t i) { return nodes[i]; }
+    const NodePlacement &operator[](size_t i) const { return nodes[i]; }
+    size_t size() const { return nodes.size(); }
+
+    bool
+    operator==(const ModelPlacement &other) const
+    {
+        return nodes == other.nodes;
+    }
+
+    /** Human-readable per-node layer ranges. */
+    std::string describe(const cluster::ClusterSpec &cluster) const;
+};
+
+/**
+ * Check structural validity of a placement: every used node's interval
+ * fits within the model and its VRAM limit, and every layer of the
+ * model is held by at least one node.
+ */
+bool placementValid(const ModelPlacement &placement,
+                    const cluster::ClusterSpec &cluster,
+                    const cluster::Profiler &profiler);
+
+/**
+ * Sum of per-layer compute coverage: for each layer, the total decode
+ * throughput of nodes holding it. Returns the minimum over layers
+ * (the classic bottleneck metric the paper contrasts with max-flow).
+ */
+double bottleneckLayerThroughput(const ModelPlacement &placement,
+                                 const cluster::ClusterSpec &cluster,
+                                 const cluster::Profiler &profiler);
+
+} // namespace placement
+} // namespace helix
+
+#endif // HELIX_PLACEMENT_PLACEMENT_H

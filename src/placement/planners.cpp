@@ -1,0 +1,270 @@
+#include "placement/planners.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace helix {
+namespace placement {
+
+namespace {
+
+/**
+ * Split @p total layers among nodes with the given per-node caps,
+ * processing in the given order. Balances shares while guaranteeing
+ * full coverage whenever sum(caps) >= total.
+ * @return per-node layer counts (aligned with @p caps), or empty if
+ *         coverage is impossible.
+ */
+std::vector<int>
+partitionLayers(const std::vector<int> &caps, int total)
+{
+    int sum = std::accumulate(caps.begin(), caps.end(), 0);
+    if (sum < total)
+        return {};
+    std::vector<int> counts(caps.size(), 0);
+    int remaining = total;
+    int rest = sum;
+    for (size_t i = 0; i < caps.size(); ++i) {
+        int nodes_left = static_cast<int>(caps.size() - i);
+        rest -= caps[i];
+        int even_share =
+            (remaining + nodes_left - 1) / nodes_left; // ceil
+        int must_take = remaining - rest; // leave the rest coverable
+        int take = std::max(even_share, must_take);
+        take = std::min(take, caps[i]);
+        take = std::min(take, remaining);
+        counts[i] = take;
+        remaining -= take;
+    }
+    HELIX_ASSERT(remaining == 0);
+    return counts;
+}
+
+} // namespace
+
+ModelPlacement
+UniformPlanner::plan(const cluster::ClusterSpec &cluster,
+                     const cluster::Profiler &profiler)
+{
+    const int n = cluster.numNodes();
+    const int num_layers = profiler.modelSpec().numLayers;
+    ModelPlacement placement;
+    placement.nodes.resize(n);
+    int stage = (num_layers + n - 1) / n;
+    int at = 0;
+    for (int i = 0; i < n && at < num_layers; ++i) {
+        int count = std::min({stage, num_layers - at,
+                              profiler.hardMaxLayers(cluster.node(i))});
+        placement[i] = {at, count};
+        at += count;
+    }
+    return placement;
+}
+
+ModelPlacement
+SwarmPlanner::plan(const cluster::ClusterSpec &cluster,
+                   const cluster::Profiler &profiler)
+{
+    const int n = cluster.numNodes();
+    const int num_layers = profiler.modelSpec().numLayers;
+
+    // Minimum stage depth that the weakest GPU can hold with half its
+    // VRAM (paper Sec. 6.2, baseline configuration).
+    int weakest = num_layers;
+    for (int i = 0; i < n; ++i)
+        weakest = std::min(weakest,
+                           profiler.maxLayers(cluster.node(i)));
+    weakest = std::max(weakest, 1);
+    int num_stages = (num_layers + weakest - 1) / weakest;
+
+    // Even partition of layers over stages.
+    std::vector<std::pair<int, int>> stages(num_stages); // start,count
+    int base = num_layers / num_stages;
+    int rem = num_layers % num_stages;
+    int at = 0;
+    for (int s = 0; s < num_stages; ++s) {
+        int count = base + (s < rem ? 1 : 0);
+        stages[s] = {at, count};
+        at += count;
+    }
+
+    // Assign nodes to stages, balancing aggregate compute per stage.
+    std::vector<int> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        return cluster.node(a).totalTflops() >
+               cluster.node(b).totalTflops();
+    });
+    std::vector<double> stage_capacity(num_stages, 0.0);
+    ModelPlacement placement;
+    placement.nodes.resize(n);
+    for (int node : order) {
+        int best_stage = 0;
+        for (int s = 1; s < num_stages; ++s) {
+            if (stage_capacity[s] <
+                stage_capacity[best_stage] - 1e-12) {
+                best_stage = s;
+            }
+        }
+        auto [start, count] = stages[best_stage];
+        placement[node] = {start, count};
+        stage_capacity[best_stage] +=
+            profiler.decodeThroughput(cluster.node(node), count);
+    }
+    return placement;
+}
+
+ModelPlacement
+PetalsPlanner::plan(const cluster::ClusterSpec &cluster,
+                    const cluster::Profiler &profiler)
+{
+    const int n = cluster.numNodes();
+    const int num_layers = profiler.modelSpec().numLayers;
+    std::vector<double> coverage(num_layers, 0.0);
+    ModelPlacement placement;
+    placement.nodes.resize(n);
+    for (int i = 0; i < n; ++i) {
+        int window = std::min(profiler.maxLayers(cluster.node(i)),
+                              num_layers);
+        window = std::max(window, 1);
+        // Choose the least-served window (lexicographically: lowest
+        // minimum coverage, then lowest total coverage).
+        int best_start = 0;
+        double best_min = std::numeric_limits<double>::max();
+        double best_sum = std::numeric_limits<double>::max();
+        for (int s = 0; s + window <= num_layers; ++s) {
+            double w_min = std::numeric_limits<double>::max();
+            double w_sum = 0.0;
+            for (int l = s; l < s + window; ++l) {
+                w_min = std::min(w_min, coverage[l]);
+                w_sum += coverage[l];
+            }
+            if (w_min < best_min - 1e-12 ||
+                (std::fabs(w_min - best_min) <= 1e-12 &&
+                 w_sum < best_sum - 1e-12)) {
+                best_min = w_min;
+                best_sum = w_sum;
+                best_start = s;
+            }
+        }
+        placement[i] = {best_start, window};
+        double throughput =
+            profiler.decodeThroughput(cluster.node(i), window);
+        for (int l = best_start; l < best_start + window; ++l)
+            coverage[l] += throughput;
+    }
+    return placement;
+}
+
+ModelPlacement
+SeparatePipelinesPlanner::plan(const cluster::ClusterSpec &cluster,
+                               const cluster::Profiler &profiler)
+{
+    const int n = cluster.numNodes();
+    const int num_layers = profiler.modelSpec().numLayers;
+    ModelPlacement placement;
+    placement.nodes.resize(n);
+
+    // Group nodes by hardware signature.
+    std::map<std::string, std::vector<int>> groups;
+    for (int i = 0; i < n; ++i) {
+        const cluster::NodeSpec &node = cluster.node(i);
+        groups[node.gpu.name + "/" + std::to_string(node.numGpus)]
+            .push_back(i);
+    }
+
+    std::vector<int> leftovers;
+    auto placeReplica = [&](const std::vector<int> &members,
+                            const std::vector<int> &caps) {
+        std::vector<int> counts = partitionLayers(caps, num_layers);
+        if (counts.empty())
+            return false;
+        int at = 0;
+        for (size_t i = 0; i < members.size(); ++i) {
+            if (counts[i] > 0)
+                placement[members[i]] = {at, counts[i]};
+            at += counts[i];
+        }
+        return true;
+    };
+
+    for (const auto &[signature, members] : groups) {
+        (void)signature;
+        int soft = profiler.maxLayers(cluster.node(members[0]));
+        int hard = profiler.hardMaxLayers(cluster.node(members[0]));
+        int count = static_cast<int>(members.size());
+        // Number of replicas this group can serve at half VRAM,
+        // reduced until every replica's share can hold the model.
+        int replicas = soft > 0
+                           ? (count * soft) / num_layers
+                           : 0;
+        while (replicas > 0 &&
+               (count / replicas) * soft < num_layers) {
+            --replicas;
+        }
+        if (replicas > 0) {
+            int per = count / replicas;
+            int extra = count % replicas;
+            int at = 0;
+            for (int r = 0; r < replicas; ++r) {
+                int size = per + (r < extra ? 1 : 0);
+                std::vector<int> replica_members(
+                    members.begin() + at, members.begin() + at + size);
+                std::vector<int> caps(size, soft);
+                bool ok = placeReplica(replica_members, caps);
+                HELIX_ASSERT(ok);
+                at += size;
+            }
+            for (int i = at; i < count; ++i)
+                leftovers.push_back(members[i]);
+        } else if (count * hard >= num_layers) {
+            // Pack beyond the half-VRAM rule: one replica using every
+            // node of the group with weights crowding out KV-cache.
+            std::vector<int> caps(count, hard);
+            bool ok = placeReplica(members, caps);
+            HELIX_ASSERT(ok);
+        } else {
+            for (int member : members)
+                leftovers.push_back(member);
+        }
+    }
+
+    if (includeMixed) {
+        // SP+: chain leftover nodes (largest VRAM first) into mixed
+        // pipelines until the pool can no longer cover the model.
+        std::sort(leftovers.begin(), leftovers.end(), [&](int a, int b) {
+            return profiler.maxLayers(cluster.node(a)) >
+                   profiler.maxLayers(cluster.node(b));
+        });
+        while (!leftovers.empty()) {
+            std::vector<int> caps;
+            caps.reserve(leftovers.size());
+            for (int member : leftovers)
+                caps.push_back(profiler.maxLayers(cluster.node(member)));
+            std::vector<int> counts =
+                partitionLayers(caps, num_layers);
+            if (counts.empty())
+                break;
+            int at = 0;
+            std::vector<int> unused;
+            for (size_t i = 0; i < leftovers.size(); ++i) {
+                if (counts[i] > 0) {
+                    placement[leftovers[i]] = {at, counts[i]};
+                    at += counts[i];
+                } else {
+                    unused.push_back(leftovers[i]);
+                }
+            }
+            leftovers = std::move(unused);
+        }
+    }
+    return placement;
+}
+
+} // namespace placement
+} // namespace helix

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Model-placement planners: the abstract interface plus the baseline
+ * heuristics the paper compares against (Sec. 6.6) — Swarm-style even
+ * partitioning, Petals-style greedy joining, separate pipelines
+ * (SP/SP+), and uniform partitioning (Fig. 1b).
+ */
+
+#ifndef HELIX_PLACEMENT_PLANNERS_H
+#define HELIX_PLACEMENT_PLANNERS_H
+
+#include <memory>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "cluster/profiler.h"
+#include "placement/placement.h"
+
+namespace helix {
+namespace placement {
+
+/** Interface implemented by every model-placement planner. */
+class Planner
+{
+  public:
+    virtual ~Planner() = default;
+
+    /** Short identifier used in reports ("helix", "swarm", ...). */
+    virtual std::string name() const = 0;
+
+    /** Produce a placement for @p cluster serving @p profiler's model. */
+    virtual ModelPlacement plan(const cluster::ClusterSpec &cluster,
+                                const cluster::Profiler &profiler) = 0;
+};
+
+/**
+ * Uniform partition (Fig. 1b): the model is split into equal stages,
+ * one stage per node, in node order, ignoring heterogeneity. Stages
+ * are clamped to each node's VRAM limit.
+ */
+class UniformPlanner : public Planner
+{
+  public:
+    std::string name() const override { return "uniform"; }
+    ModelPlacement plan(const cluster::ClusterSpec &cluster,
+                        const cluster::Profiler &profiler) override;
+};
+
+/**
+ * Swarm-style placement (Sec. 6.2 baselines): the model is evenly
+ * partitioned into the minimum number of stages that lets the weakest
+ * GPU hold one stage with half its VRAM; nodes are then assigned to
+ * stages greedily so that per-stage aggregate compute is balanced.
+ */
+class SwarmPlanner : public Planner
+{
+  public:
+    std::string name() const override { return "swarm"; }
+    ModelPlacement plan(const cluster::ClusterSpec &cluster,
+                        const cluster::Profiler &profiler) override;
+};
+
+/**
+ * Petals-style placement (Sec. 2.2): nodes join one at a time; each
+ * new node serves the contiguous window of layers with the least
+ * aggregate throughput so far, holding as many layers as its VRAM
+ * allows.
+ */
+class PetalsPlanner : public Planner
+{
+  public:
+    std::string name() const override { return "petals"; }
+    ModelPlacement plan(const cluster::ClusterSpec &cluster,
+                        const cluster::Profiler &profiler) override;
+};
+
+/**
+ * Separate pipelines (SP): each GPU-type group independently serves
+ * replicas of the whole model. Groups whose aggregate half-VRAM
+ * capacity cannot hold the model either pack weights beyond the
+ * half-VRAM rule (shrinking KV) when possible, or are left unused.
+ * With includeMixedPipeline (SP+), leftover/unusable nodes are chained
+ * into additional mixed-type pipelines.
+ */
+class SeparatePipelinesPlanner : public Planner
+{
+  public:
+    explicit SeparatePipelinesPlanner(bool include_mixed_pipeline = false)
+        : includeMixed(include_mixed_pipeline)
+    {
+    }
+
+    std::string name() const override
+    {
+        return includeMixed ? "sp+" : "sp";
+    }
+
+    ModelPlacement plan(const cluster::ClusterSpec &cluster,
+                        const cluster::Profiler &profiler) override;
+
+  private:
+    bool includeMixed;
+};
+
+} // namespace placement
+} // namespace helix
+
+#endif // HELIX_PLACEMENT_PLANNERS_H

@@ -1,0 +1,39 @@
+#include "scheduler/iwrr.h"
+
+namespace helix {
+namespace scheduler {
+
+IwrrScheduler::IwrrScheduler(std::vector<int> candidate_ids,
+                             std::vector<double> weights)
+    : ids(std::move(candidate_ids)), weight(std::move(weights)),
+      credit(ids.size(), 0.0)
+{
+    HELIX_ASSERT(ids.size() == weight.size());
+    for (double w : weight)
+        HELIX_ASSERT(w > 0.0);
+}
+
+int
+IwrrScheduler::pick(const std::vector<bool> *masked)
+{
+    if (ids.empty())
+        return -1;
+    HELIX_ASSERT(!masked || masked->size() == ids.size());
+    double eligible_total = 0.0;
+    int best = -1;
+    for (size_t i = 0; i < ids.size(); ++i) {
+        if (masked && (*masked)[i])
+            continue;
+        credit[i] += weight[i];
+        eligible_total += weight[i];
+        if (best < 0 || credit[i] > credit[best])
+            best = static_cast<int>(i);
+    }
+    if (best < 0)
+        return -1;
+    credit[best] -= eligible_total;
+    return ids[best];
+}
+
+} // namespace scheduler
+} // namespace helix

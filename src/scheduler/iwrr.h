@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Interleaved weighted round-robin (IWRR) selection.
+ *
+ * Helix binds one IWRR scheduler to every vertex of the topology graph
+ * (Sec. 5.1); candidate weights are the max-flow edge flows, so the
+ * long-run selection frequency of each candidate is proportional to
+ * the flow routed over its connection, without creating bursts.
+ *
+ * The implementation uses the smooth weighted round-robin credit
+ * scheme: each pick adds every candidate's weight to its credit,
+ * selects the candidate with the largest credit, and charges the
+ * winner the total weight. This yields the interleaving property of
+ * IWRR (consecutive picks of the same candidate are spread maximally)
+ * with O(n) per pick and exact proportional share.
+ */
+
+#ifndef HELIX_SCHEDULER_IWRR_H
+#define HELIX_SCHEDULER_IWRR_H
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace helix {
+namespace scheduler {
+
+/** IWRR selector over a fixed candidate set with positive weights. */
+class IwrrScheduler
+{
+  public:
+    IwrrScheduler() = default;
+
+    /**
+     * @param candidate_ids opaque ids returned by pick()
+     * @param weights positive selection weights (same length)
+     */
+    IwrrScheduler(std::vector<int> candidate_ids,
+                  std::vector<double> weights);
+
+    /** Number of candidates. */
+    size_t size() const { return ids.size(); }
+
+    const std::vector<int> &candidates() const { return ids; }
+    const std::vector<double> &weights() const { return weight; }
+
+    /**
+     * Pick the next candidate, skipping masked entries.
+     * @param masked optional per-candidate mask (true = ineligible);
+     *               pass nullptr to consider all candidates
+     * @return the chosen candidate id, or -1 if every candidate is
+     *         masked (or the set is empty)
+     */
+    int pick(const std::vector<bool> *masked = nullptr);
+
+  private:
+    std::vector<int> ids;
+    std::vector<double> weight;
+    std::vector<double> credit;
+};
+
+} // namespace scheduler
+} // namespace helix
+
+#endif // HELIX_SCHEDULER_IWRR_H

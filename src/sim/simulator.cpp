@@ -1,0 +1,511 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace helix {
+namespace sim {
+
+ClusterSimulator::ClusterSimulator(
+    const cluster::ClusterSpec &cluster_spec,
+    const cluster::Profiler &profiler_ref,
+    const placement::ModelPlacement &placement_spec,
+    scheduler::RequestScheduler &scheduler_ref, SimConfig config)
+    : clusterRef(cluster_spec), profiler(profiler_ref),
+      placementRef(placement_spec), sched(scheduler_ref), cfg(config)
+{
+    const int n = cluster_spec.numNodes();
+    nodes.resize(n);
+    for (int i = 0; i < n; ++i) {
+        nodes[i].layersHeld = placement_spec[i].count;
+        nodes[i].kvCapacity =
+            placement_spec[i].count > 0
+                ? static_cast<double>(profiler.kvCapacityBytes(
+                      cluster_spec.node(i), placement_spec[i].count))
+                : 0.0;
+    }
+    if (cfg.maxActiveRequests == 0) {
+        // Derive the engine-level concurrency bound from aggregate KV
+        // capacity: one request occupies (context x layers) KV token
+        // slots spread over its pipeline.
+        double token_layers = 0.0;
+        for (const NodeState &state : nodes) {
+            token_layers +=
+                state.kvCapacity /
+                profiler.modelSpec().kvBytesPerTokenPerLayer();
+        }
+        double per_request = profiler.params().planningContextLen *
+                             profiler.modelSpec().numLayers;
+        cfg.maxActiveRequests = std::max(
+            1, static_cast<int>(token_layers / per_request));
+    }
+
+    side = n + 1;
+    links.resize(static_cast<size_t>(side) * side);
+    for (int from = cluster::kCoordinator; from < n; ++from) {
+        for (int to = cluster::kCoordinator; to < n; ++to) {
+            if (from == to)
+                continue;
+            LinkState &ls = linkState(from, to);
+            ls.stat.from = from;
+            ls.stat.to = to;
+        }
+    }
+}
+
+ClusterSimulator::LinkState &
+ClusterSimulator::linkState(int from, int to)
+{
+    return links[static_cast<size_t>(from + 1) * side + (to + 1)];
+}
+
+void
+ClusterSimulator::schedule(double when, Callback fn)
+{
+    HELIX_ASSERT(when >= now);
+    events.push({when, eventSeq++, std::move(fn)});
+}
+
+bool
+ClusterSimulator::inWindow(double t) const
+{
+    return t >= cfg.warmupSeconds &&
+           t < cfg.warmupSeconds + cfg.measureSeconds;
+}
+
+double
+ClusterSimulator::contextLen(const RequestState &rs) const
+{
+    return static_cast<double>(rs.request.promptLen + rs.generated);
+}
+
+int
+ClusterSimulator::queueLength(int node) const
+{
+    return nodes[node].inFlight;
+}
+
+double
+ClusterSimulator::recentThroughput(int node) const
+{
+    return nodes[node].ewmaThroughput;
+}
+
+double
+ClusterSimulator::kvUsedBytes(int node) const
+{
+    return nodes[node].kvUsed;
+}
+
+void
+ClusterSimulator::tryAdmit()
+{
+    while (!pending.empty()) {
+        long active = metrics.requestsAdmitted -
+                      metrics.requestsCompleted;
+        if (cfg.maxActiveRequests > 0 &&
+            active >= cfg.maxActiveRequests) {
+            break; // Engine-level KV backpressure.
+        }
+        int idx = pending.front();
+        RequestState &rs = requests[idx];
+        auto pipeline = sched.schedule(rs.request, *this);
+        if (!pipeline) {
+            // Nothing admissible right now. If the cluster is
+            // completely idle this request can never be served (it
+            // exceeds every node's standalone capacity): reject it to
+            // avoid blocking the queue forever.
+            bool idle = true;
+            for (const NodeState &node : nodes) {
+                if (node.busy || node.inFlight > 0) {
+                    idle = false;
+                    break;
+                }
+            }
+            long active = metrics.requestsAdmitted -
+                          metrics.requestsCompleted;
+            if (idle && active <= 0) {
+                ++metrics.requestsRejected;
+                pending.pop_front();
+                continue;
+            }
+            break;
+        }
+        HELIX_ASSERT(scheduler::pipelineValid(
+            *pipeline, profiler.modelSpec().numLayers));
+        pending.pop_front();
+        rs.pipeline = std::move(*pipeline);
+        rs.admitted = true;
+        ++metrics.requestsAdmitted;
+        sched.onRequestAdmitted(rs.request, rs.pipeline);
+        // Dispatch the prompt: the coordinator ships the token ids of
+        // the prompt to the first stage.
+        int first_node = rs.pipeline.front().node;
+        double bytes = static_cast<double>(rs.request.promptLen) *
+                       profiler.tokenBytes();
+        WorkItem item{idx, 0, true, rs.request.promptLen};
+        sendMessage(cluster::kCoordinator, first_node, bytes,
+                    [this, first_node, item] {
+                        enqueueWork(first_node, item);
+                    });
+    }
+}
+
+void
+ClusterSimulator::sendMessage(int from, int to, double bytes,
+                              Callback on_arrival)
+{
+    const cluster::LinkSpec &spec = clusterRef.link(from, to);
+    LinkState &ls = linkState(from, to);
+    // Interactive messages (single-token activations, output tokens)
+    // ride a priority channel so they do not serialize behind bulk
+    // prompt transfers, mirroring how real transports interleave
+    // small messages with large streams.
+    bool bulk = bytes > 16.0 * profiler.activationBytes();
+    double &busy_until =
+        bulk ? ls.bulkBusyUntil : ls.interactiveBusyUntil;
+    double start = std::max(now, busy_until);
+    double tx = bytes / spec.bytesPerSecond();
+    busy_until = start + tx;
+    double queue_delay = start - now;
+    if (cfg.collectLinkStats) {
+        ++ls.stat.transfers;
+        ls.stat.totalBytes += bytes;
+        ls.stat.busySeconds += tx;
+        ls.stat.maxQueueDelayS =
+            std::max(ls.stat.maxQueueDelayS, queue_delay);
+        ls.stat.totalQueueDelayS += queue_delay;
+    }
+    schedule(start + tx + spec.latencyS, std::move(on_arrival));
+}
+
+void
+ClusterSimulator::enqueueWork(int node, WorkItem item)
+{
+    NodeState &state = nodes[node];
+    state.queue.push_back(item);
+    ++state.inFlight;
+    if (!state.busy)
+        startBatch(node);
+}
+
+void
+ClusterSimulator::startBatch(int node)
+{
+    NodeState &state = nodes[node];
+    HELIX_ASSERT(!state.busy);
+    HELIX_ASSERT(!state.queue.empty());
+
+    // Best-effort dynamic batching with vLLM-style KV backpressure:
+    // decode items always run; a prompt item joins the batch only if
+    // the node's KV can hold the request's context (otherwise it waits
+    // in the queue until completions free pages). A prompt is always
+    // accepted on an otherwise-empty node so oversized requests make
+    // progress (with the swap penalty) instead of deadlocking.
+    const model::TransformerSpec &spec = profiler.modelSpec();
+    std::vector<WorkItem> batch;
+    std::deque<WorkItem> deferred;
+    double reserved = 0.0;
+    int token_budget = cfg.maxBatchTokens;
+    while (!state.queue.empty() && token_budget > 0 &&
+           static_cast<int>(batch.size()) < cfg.maxBatchRequests) {
+        WorkItem item = state.queue.front();
+        state.queue.pop_front();
+        if (item.isPrompt) {
+            const RequestState &rs = requests[item.request];
+            // KV admission applies to the first chunk of a prompt
+            // (when the request becomes resident on this node).
+            bool first_chunk =
+                item.numTokens == rs.request.promptLen;
+            if (first_chunk) {
+                double need =
+                    (static_cast<double>(rs.request.promptLen) + 1.0) *
+                    spec.kvBytesPerTokenPerLayer() *
+                    rs.pipeline[item.stage].numLayers();
+                bool node_empty =
+                    state.kvUsed <= 0.0 && reserved <= 0.0;
+                if (!node_empty &&
+                    state.kvUsed + reserved + need >
+                        state.kvCapacity) {
+                    deferred.push_back(item);
+                    continue;
+                }
+                reserved += need;
+            }
+            if (item.numTokens > token_budget) {
+                // Chunked prefill: run what fits, leave the rest at
+                // the head of the queue for the next iteration.
+                WorkItem chunk = item;
+                chunk.numTokens = token_budget;
+                chunk.finalChunk = false;
+                item.numTokens -= token_budget;
+                state.queue.push_front(item);
+                batch.push_back(chunk);
+                token_budget = 0;
+                break;
+            }
+            token_budget -= item.numTokens;
+        } else {
+            token_budget -= 1;
+        }
+        batch.push_back(item);
+    }
+    // Put deferred prompts back at the front, preserving arrival
+    // order (ahead of any split remainder they preceded).
+    while (!deferred.empty()) {
+        state.queue.push_front(deferred.back());
+        deferred.pop_back();
+    }
+    if (batch.empty())
+        return; // All queued prompts are waiting for KV pages.
+    state.busy = true;
+
+    // Roofline batch time: all FLOPs at mfu, one pass over resident
+    // weights, plus KV reads for decode items.
+    const cluster::NodeSpec &hw = clusterRef.node(node);
+    const cluster::CostModelParams &cost = profiler.params();
+    double eff_flops = hw.totalTflops() * 1e12 * cost.mfu;
+    double eff_bw = hw.totalMemBandwidthGBs() * 1e9 *
+                    cost.memBwEfficiency;
+    double compute_s = 0.0;
+    double kv_bytes = 0.0;
+    for (const WorkItem &item : batch) {
+        const RequestState &rs = requests[item.request];
+        const scheduler::PipelineStage &stage =
+            rs.pipeline[item.stage];
+        double ctx = contextLen(rs);
+        double flops_per_token =
+            spec.flopsPerTokenPerLayer() +
+            spec.attentionFlopsPerToken(static_cast<int>(
+                item.isPrompt ? ctx / 2 : ctx));
+        compute_s += static_cast<double>(item.numTokens) *
+                     stage.numLayers() * flops_per_token / eff_flops;
+        if (!item.isPrompt) {
+            kv_bytes += ctx * spec.kvBytesPerTokenPerLayer() *
+                        stage.numLayers();
+        }
+    }
+    double weight_bytes =
+        static_cast<double>(spec.layerBytes()) * state.layersHeld;
+    double memory_s = (weight_bytes + kv_bytes) / eff_bw;
+    double batch_s = std::max(compute_s, memory_s) +
+                     cost.iterationOverheadS;
+
+    // KV oversubscription: model paging to host memory as a slowdown.
+    if (state.kvCapacity > 0.0 && state.kvUsed > state.kvCapacity) {
+        double over = state.kvUsed / state.kvCapacity - 1.0;
+        batch_s *= 1.0 + cfg.kvSwapPenalty * over;
+    }
+
+    // Sample KV utilization for metrics.
+    if (state.kvCapacity > 0.0 && inWindow(now)) {
+        state.utilSum += state.kvUsed / state.kvCapacity;
+        ++state.utilSamples;
+    }
+
+    schedule(now + batch_s,
+             [this, node, items = std::move(batch), batch_s]() mutable {
+                 finishBatch(node, std::move(items), batch_s);
+             });
+}
+
+void
+ClusterSimulator::finishBatch(int node, std::vector<WorkItem> items,
+                              double batch_seconds)
+{
+    NodeState &state = nodes[node];
+    state.busy = false;
+
+    const model::TransformerSpec &spec = profiler.modelSpec();
+    long tokens_processed = 0;
+    for (const WorkItem &item : items) {
+        RequestState &rs = requests[item.request];
+        const scheduler::PipelineStage &stage =
+            rs.pipeline[item.stage];
+        tokens_processed += item.numTokens;
+
+        // KV written by this stage: the processed prompt chunk during
+        // the prompt phase, one token per decode iteration.
+        state.kvUsed += static_cast<double>(item.numTokens) *
+                        spec.kvBytesPerTokenPerLayer() *
+                        stage.numLayers();
+
+        if (!item.finalChunk) {
+            // Intermediate prefill chunk: the request stays at this
+            // node; its remainder is already queued.
+            continue;
+        }
+        --state.inFlight;
+
+        bool last_stage =
+            item.stage + 1 == static_cast<int>(rs.pipeline.size());
+        if (last_stage) {
+            int req = item.request;
+            sendMessage(node, cluster::kCoordinator,
+                        profiler.tokenBytes(),
+                        [this, req] { onTokenAtCoordinator(req); });
+        } else {
+            const scheduler::PipelineStage &next =
+                rs.pipeline[item.stage + 1];
+            // A prompt forwards in full once its last chunk finishes
+            // here (earlier chunks produced activations that are
+            // shipped together with the final one).
+            int tokens = item.isPrompt ? rs.request.promptLen
+                                       : item.numTokens;
+            WorkItem forwarded{item.request, item.stage + 1,
+                               item.isPrompt, tokens};
+            double bytes = static_cast<double>(tokens) *
+                           profiler.activationBytes();
+            int to = next.node;
+            sendMessage(node, to, bytes, [this, to, forwarded] {
+                enqueueWork(to, forwarded);
+            });
+        }
+        if (item.isPrompt && last_stage && inWindow(now))
+            metrics.promptTokensInWindow += rs.request.promptLen;
+    }
+    ++state.batches;
+    state.itemsProcessed += static_cast<long>(items.size());
+    state.tokensProcessed += tokens_processed;
+    state.busySeconds += batch_seconds;
+
+    // Exponentially weighted throughput estimate, consumed by the
+    // Swarm-style scheduler baseline.
+    double rate =
+        static_cast<double>(tokens_processed) / batch_seconds;
+    state.ewmaThroughput = 0.8 * state.ewmaThroughput + 0.2 * rate;
+
+    if (!state.queue.empty())
+        startBatch(node);
+}
+
+void
+ClusterSimulator::onTokenAtCoordinator(int request)
+{
+    RequestState &rs = requests[request];
+    ++rs.generated;
+    if (rs.firstTokenTime < 0.0) {
+        rs.firstTokenTime = now;
+        if (inWindow(now)) {
+            metrics.promptLatency.add(now - rs.request.arrivalS);
+        }
+    } else if (inWindow(now)) {
+        ++metrics.decodeTokensInWindow;
+    }
+
+    if (rs.generated >= rs.request.outputLen) {
+        // Request complete: release KV on every stage.
+        rs.finishTime = now;
+        ++metrics.requestsCompleted;
+        const model::TransformerSpec &spec = profiler.modelSpec();
+        for (const scheduler::PipelineStage &stage : rs.pipeline) {
+            double bytes = contextLen(rs) *
+                           spec.kvBytesPerTokenPerLayer() *
+                           stage.numLayers();
+            nodes[stage.node].kvUsed =
+                std::max(0.0, nodes[stage.node].kvUsed - bytes);
+        }
+        sched.onRequestFinished(rs.request, rs.pipeline);
+        if (rs.request.outputLen > 1 && inWindow(rs.finishTime)) {
+            metrics.decodeLatency.add(
+                (rs.finishTime - rs.firstTokenTime) /
+                (rs.request.outputLen - 1));
+        }
+        // Freed KV pages may unblock prompts waiting at these nodes.
+        for (const scheduler::PipelineStage &stage : rs.pipeline) {
+            NodeState &state = nodes[stage.node];
+            if (!state.busy && !state.queue.empty())
+                startBatch(stage.node);
+        }
+        tryAdmit();
+        return;
+    }
+
+    // Schedule the next decode iteration over the same pipeline: the
+    // coordinator sends the newly sampled token to the first stage.
+    int first_node = rs.pipeline.front().node;
+    WorkItem item{request, 0, false, 1};
+    sendMessage(cluster::kCoordinator, first_node,
+                profiler.tokenBytes(), [this, first_node, item] {
+                    enqueueWork(first_node, item);
+                });
+}
+
+SimMetrics
+ClusterSimulator::run(const std::vector<trace::Request> &request_list)
+{
+    metrics = SimMetrics{};
+    requests.clear();
+    requests.reserve(request_list.size());
+    for (const trace::Request &req : request_list) {
+        RequestState rs;
+        rs.request = req;
+        requests.push_back(std::move(rs));
+    }
+
+    for (size_t i = 0; i < requests.size(); ++i) {
+        double at = requests[i].request.arrivalS;
+        int idx = static_cast<int>(i);
+        schedule(std::max(at, 0.0), [this, idx] {
+            ++metrics.requestsArrived;
+            pending.push_back(idx);
+            tryAdmit();
+        });
+    }
+
+    const double end_time = cfg.warmupSeconds + cfg.measureSeconds;
+    while (!events.empty()) {
+        const Event &top = events.top();
+        if (top.time > end_time)
+            break;
+        now = top.time;
+        Callback fn = std::move(const_cast<Event &>(top).fn);
+        events.pop();
+        fn();
+    }
+    // Drain the queue so a reused simulator starts clean.
+    while (!events.empty())
+        events.pop();
+
+    metrics.simulatedSeconds = cfg.measureSeconds;
+    metrics.decodeThroughput =
+        static_cast<double>(metrics.decodeTokensInWindow) /
+        cfg.measureSeconds;
+    metrics.promptThroughput =
+        static_cast<double>(metrics.promptTokensInWindow) /
+        cfg.measureSeconds;
+    double util = 0.0;
+    int counted = 0;
+    for (const NodeState &state : nodes) {
+        if (state.utilSamples > 0) {
+            util += state.utilSum /
+                    static_cast<double>(state.utilSamples);
+            ++counted;
+        }
+    }
+    metrics.avgKvUtilization = counted > 0 ? util / counted : 0.0;
+    metrics.nodeStats.resize(nodes.size());
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        const NodeState &state = nodes[i];
+        SimMetrics::NodeStat &stat = metrics.nodeStats[i];
+        stat.batches = state.batches;
+        stat.itemsProcessed = state.itemsProcessed;
+        stat.tokensProcessed = state.tokensProcessed;
+        stat.busySeconds = state.busySeconds;
+        stat.kvUtilization =
+            state.utilSamples > 0
+                ? state.utilSum / static_cast<double>(state.utilSamples)
+                : 0.0;
+    }
+    if (cfg.collectLinkStats) {
+        for (const LinkState &ls : links) {
+            if (ls.stat.transfers > 0)
+                metrics.linkStats.push_back(ls.stat);
+        }
+    }
+    return metrics;
+}
+
+} // namespace sim
+} // namespace helix

@@ -1,0 +1,125 @@
+#include "util/random.h"
+
+#include <limits>
+
+#include "util/logging.h"
+
+namespace helix {
+
+namespace {
+
+inline uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    SplitMix64 sm(seed);
+    for (auto &word : s)
+        word = sm.next();
+}
+
+uint64_t
+Rng::nextU64()
+{
+    const uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 random bits scaled into [0, 1).
+    return (nextU64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+uint64_t
+Rng::nextBounded(uint64_t bound)
+{
+    HELIX_ASSERT(bound > 0);
+    // Rejection sampling to remove modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        uint64_t r = nextU64();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int64_t
+Rng::nextInt(int64_t lo, int64_t hi)
+{
+    HELIX_ASSERT(lo <= hi);
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(nextBounded(span));
+}
+
+double
+Rng::nextUniform(double lo, double hi)
+{
+    return lo + (hi - lo) * nextDouble();
+}
+
+double
+Rng::nextExponential(double rate)
+{
+    HELIX_ASSERT(rate > 0.0);
+    double u = nextDouble();
+    // Guard against log(0).
+    if (u <= 0.0)
+        u = std::numeric_limits<double>::min();
+    return -std::log(u) / rate;
+}
+
+double
+Rng::nextNormal(double mean, double stddev)
+{
+    // Box-Muller; one value per call keeps the stream simple and
+    // deterministic.
+    double u1 = nextDouble();
+    double u2 = nextDouble();
+    if (u1 <= 0.0)
+        u1 = std::numeric_limits<double>::min();
+    double z = std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * M_PI * u2);
+    return mean + stddev * z;
+}
+
+double
+Rng::nextLogNormal(double mu, double sigma)
+{
+    return std::exp(nextNormal(mu, sigma));
+}
+
+size_t
+Rng::nextWeighted(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        HELIX_ASSERT(w >= 0.0);
+        total += w;
+    }
+    if (total <= 0.0)
+        return std::numeric_limits<size_t>::max();
+    double pick = nextDouble() * total;
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (pick < acc)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+} // namespace helix

@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Tests for placement types and the cluster→flow-graph construction
+ * (Sec. 4.3), including the paper's Fig. 2 worked example, connection
+ * validity rules, partial inference, pruning filters, and the serving
+ * throughput estimate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "cluster/profiler.h"
+#include "model/transformer.h"
+#include "placement/placement.h"
+#include "placement/placement_graph.h"
+
+namespace helix {
+namespace placement {
+namespace {
+
+using cluster::ClusterSpec;
+using cluster::NodeSpec;
+using cluster::Profiler;
+
+ClusterSpec
+tinyCluster(int n)
+{
+    ClusterSpec c;
+    for (int i = 0; i < n; ++i) {
+        NodeSpec node;
+        node.name = "t4-" + std::to_string(i);
+        node.gpu = cluster::gpus::t4();
+        c.addNode(std::move(node));
+    }
+    c.setUniformLinks(10e9, 1e-3);
+    return c;
+}
+
+TEST(NodePlacementType, EndArithmetic)
+{
+    NodePlacement p{5, 3};
+    EXPECT_EQ(p.end(), 8);
+    EXPECT_EQ(p, (NodePlacement{5, 3}));
+}
+
+TEST(ConnectionValidity, PartialInferenceRule)
+{
+    // Valid iff s_to <= e_from < e_to.
+    EXPECT_TRUE(connectionValid({0, 4}, {4, 4}, true));  // e=s exact
+    EXPECT_TRUE(connectionValid({0, 4}, {2, 4}, true));  // overlap
+    EXPECT_FALSE(connectionValid({0, 4}, {5, 3}, true)); // gap
+    EXPECT_FALSE(connectionValid({0, 8}, {2, 4}, true)); // e >= e_to
+    EXPECT_FALSE(connectionValid({0, 0}, {0, 4}, true)); // unused from
+    EXPECT_FALSE(connectionValid({0, 4}, {4, 0}, true)); // unused to
+}
+
+TEST(ConnectionValidity, ExactRuleWithoutPartialInference)
+{
+    EXPECT_TRUE(connectionValid({0, 4}, {4, 4}, false));
+    EXPECT_FALSE(connectionValid({0, 4}, {2, 4}, false));
+    EXPECT_FALSE(connectionValid({0, 4}, {3, 6}, false));
+}
+
+TEST(PlacementValidity, FullCoverageRequired)
+{
+    ClusterSpec c = tinyCluster(3);
+    Profiler prof(model::catalog::llama30b());
+    ModelPlacement p;
+    p.nodes = {{0, 7}, {7, 7}, {14, 7}};
+    // 21 < 60 layers: invalid.
+    EXPECT_FALSE(placementValid(p, c, prof));
+}
+
+TEST(PlacementValidity, VramLimitEnforced)
+{
+    ClusterSpec c = tinyCluster(1);
+    Profiler prof(model::catalog::llama30b());
+    int hard = prof.hardMaxLayers(c.node(0));
+    ModelPlacement p;
+    p.nodes = {{0, hard + 1}};
+    EXPECT_FALSE(placementValid(p, c, prof));
+}
+
+TEST(PlacementValidity, OutOfRangeRejected)
+{
+    ClusterSpec c = tinyCluster(1);
+    Profiler prof(model::catalog::llama30b());
+    ModelPlacement p;
+    p.nodes = {{58, 5}}; // extends past layer 60
+    EXPECT_FALSE(placementValid(p, c, prof));
+}
+
+TEST(BottleneckMetric, MinOverLayers)
+{
+    ClusterSpec c = tinyCluster(2);
+    Profiler prof(model::catalog::llama30b());
+    ModelPlacement p;
+    p.nodes = {{0, 5}, {0, 5}}; // layers 5.. uncovered
+    EXPECT_DOUBLE_EQ(bottleneckLayerThroughput(p, c, prof), 0.0);
+}
+
+TEST(ConnectionFilter, AllowAllAllows)
+{
+    auto filter = ConnectionFilter::allowAll(4);
+    EXPECT_TRUE(filter.allowed(0, 3));
+    EXPECT_EQ(filter.numAllowed(), 16);
+}
+
+TEST(ConnectionFilter, PruningBoundsDegree)
+{
+    ClusterSpec c = cluster::setups::geoDistributed24();
+    auto filter = ConnectionFilter::pruneByBandwidth(c, 12);
+    for (int from = 0; from < c.numNodes(); ++from) {
+        int degree = 0;
+        for (int to = 0; to < c.numNodes(); ++to) {
+            if (to != from && filter.allowed(from, to))
+                ++degree;
+        }
+        EXPECT_LE(degree, 12);
+    }
+}
+
+TEST(ConnectionFilter, PruningKeepsFastLinksFirst)
+{
+    ClusterSpec c = cluster::setups::geoDistributed24();
+    auto filter = ConnectionFilter::pruneByBandwidth(c, 12);
+    // A region-1 node (10 intra peers - itself = 9 intra) keeps all
+    // intra links; only 3 cross links survive.
+    int region1_node = -1;
+    for (int i = 0; i < c.numNodes(); ++i) {
+        if (c.node(i).region == 1) {
+            region1_node = i;
+            break;
+        }
+    }
+    ASSERT_GE(region1_node, 0);
+    for (int to = 0; to < c.numNodes(); ++to) {
+        if (to == region1_node)
+            continue;
+        if (c.node(to).region == 1)
+            EXPECT_TRUE(filter.allowed(region1_node, to));
+    }
+}
+
+/**
+ * The paper's Fig. 2 worked example: 3 nodes, given model placement;
+ * edge capacities follow the bandwidth/payload arithmetic and the max
+ * flow gives the serving throughput.
+ */
+TEST(PlacementGraphFig2, ReproducesConstruction)
+{
+    // Three-layer toy model with a 16 KB activation (hidden 4096 at
+    // FP32 equivalent; we simply need activation bytes = 16384).
+    model::TransformerSpec toy;
+    toy.name = "toy3";
+    toy.numLayers = 3;
+    toy.hiddenSize = 8192;
+    toy.numHeads = 64;
+    toy.numKvHeads = 8;
+    toy.intermediateSize = 28672;
+    toy.vocabSize = 32000;
+
+    ClusterSpec c;
+    NodeSpec a100{"A100", cluster::gpus::a100_40(), 1, 0};
+    NodeSpec t4_1{"T4-1", cluster::gpus::t4(), 1, 0};
+    NodeSpec t4_2{"T4-2", cluster::gpus::t4(), 1, 0};
+    c.addNode(a100);
+    c.addNode(t4_1);
+    c.addNode(t4_2);
+    // Fig. 2 bandwidths (Mb/s): coord->A100 20, coord<-T4-2 50,
+    // A100->T4-1 80, A100->T4-2 40, T4-1->T4-2 60, plus unused others.
+    c.setUniformLinks(1e6, 1e-3);
+    c.setLink(cluster::kCoordinator, 0, {20e6, 1e-3});
+    c.setLink(2, cluster::kCoordinator, {50e6, 1e-3});
+    c.setLink(0, 1, {80e6, 1e-3});
+    c.setLink(0, 2, {40e6, 1e-3});
+    c.setLink(1, 2, {60e6, 1e-3});
+
+    Profiler prof(toy);
+    ModelPlacement placement;
+    placement.nodes = {{0, 2}, {1, 1}, {2, 1}}; // A100: 1&2, T4s: ...
+    // A100 holds layers [0,2), T4-1 holds [1,2)?? Fig 2: A100 holds
+    // layers 1-2, T4-1 holds layer 3... our indices: A100 [0,2),
+    // T4-1 [2,3)? T4-1 holds layer 3 and T4-2 holds layer 3 as well.
+    placement.nodes = {{0, 2}, {2, 1}, {2, 1}};
+
+    PlacementGraph graph(c, prof, placement);
+    // Valid connections: coord->A100 (s=0), A100->T4-1, A100->T4-2,
+    // T4-1->coord, T4-2->coord (both end at layer 3 = L).
+    EXPECT_TRUE(graph.hasConnection(cluster::kCoordinator, 0));
+    EXPECT_TRUE(graph.hasConnection(0, 1));
+    EXPECT_TRUE(graph.hasConnection(0, 2));
+    EXPECT_TRUE(graph.hasConnection(1, cluster::kCoordinator));
+    EXPECT_TRUE(graph.hasConnection(2, cluster::kCoordinator));
+    EXPECT_FALSE(graph.hasConnection(1, 2)); // same layers: invalid
+    EXPECT_FALSE(graph.hasConnection(cluster::kCoordinator, 1));
+
+    // Capacity arithmetic: coordinator link carries 4-byte tokens,
+    // A100->T4-1 carries 16 KB activations (Fig. 2b: 625K and 610).
+    auto conns = graph.connections();
+    for (const auto &conn : conns) {
+        if (conn.from == cluster::kCoordinator && conn.to == 0)
+            EXPECT_NEAR(conn.capacity, 20e6 / 8.0 / 4.0, 1.0);
+        if (conn.from == 0 && conn.to == 1)
+            EXPECT_NEAR(conn.capacity, 80e6 / 8.0 / 16384.0, 1.0);
+    }
+
+    // Max flow is limited by network and node capacities and must be
+    // positive and no larger than the coordinator ingress capacity.
+    double flow = graph.maxThroughput();
+    EXPECT_GT(flow, 0.0);
+    EXPECT_LE(flow, 20e6 / 8.0 / 4.0 + 1.0);
+}
+
+TEST(PlacementGraph, UnusedNodesExcluded)
+{
+    ClusterSpec c = tinyCluster(3);
+    Profiler prof(model::catalog::llama30b());
+    int k = prof.maxLayers(c.node(0));
+    ModelPlacement p;
+    p.nodes = {{0, k}, {0, 0}, {0, k}};
+    PlacementGraph graph(c, prof, p);
+    EXPECT_FALSE(graph.hasConnection(0, 1));
+    EXPECT_FALSE(graph.hasConnection(cluster::kCoordinator, 1));
+}
+
+TEST(PlacementGraph, FlowZeroWithoutCoverage)
+{
+    ClusterSpec c = tinyCluster(2);
+    Profiler prof(model::catalog::llama30b());
+    ModelPlacement p;
+    p.nodes = {{0, 5}, {5, 5}}; // covers only [0, 10) of 60
+    PlacementGraph graph(c, prof, p);
+    EXPECT_DOUBLE_EQ(graph.maxThroughput(), 0.0);
+}
+
+TEST(PlacementGraph, FlowConservationAtConnections)
+{
+    ClusterSpec c = cluster::setups::plannerCluster10();
+    // Two replica chains of five nodes, each tiling a 30-layer model
+    // in 6-layer stages (6 <= every node's VRAM limit).
+    ModelPlacement p;
+    p.nodes.resize(10);
+    model::TransformerSpec toy = model::catalog::llama30b();
+    toy.numLayers = 30;
+    Profiler prof30(toy);
+    for (int chain = 0; chain < 2; ++chain) {
+        int at = 0;
+        for (int j = 0; j < 5; ++j) {
+            int node = chain * 5 + j;
+            p[node] = {at, 6};
+            at += 6;
+        }
+    }
+    PlacementGraph graph(c, prof30, p);
+    double flow = graph.maxThroughput();
+    EXPECT_GT(flow, 0.0);
+    // Flow into each node equals flow out of it.
+    for (int node = 0; node < 10; ++node) {
+        double in = 0.0;
+        double out = 0.0;
+        for (const auto &conn : graph.connections()) {
+            if (conn.to == node)
+                in += conn.flow;
+            if (conn.from == node)
+                out += conn.flow;
+        }
+        EXPECT_NEAR(in, out, 1e-4 * std::max(1.0, flow));
+    }
+}
+
+TEST(PlacementGraph, PartialInferenceAddsConnections)
+{
+    ClusterSpec c = tinyCluster(2);
+    Profiler prof(model::catalog::llama30b());
+    ModelPlacement p;
+    p.nodes = {{0, 6}, {4, 7}}; // overlap: partial inference needed
+    PlacementGraph with_partial(c, prof, p, {true, nullptr});
+    PlacementGraph without_partial(c, prof, p, {false, nullptr});
+    EXPECT_TRUE(with_partial.hasConnection(0, 1));
+    EXPECT_FALSE(without_partial.hasConnection(0, 1));
+}
+
+TEST(ServingEstimate, BoundedByMaxFlow)
+{
+    ClusterSpec c = cluster::setups::singleCluster24();
+    Profiler prof(model::catalog::llama70b());
+    // Use a straightforward round-robin fill for a valid placement.
+    ModelPlacement p;
+    p.nodes.resize(c.numNodes());
+    int at = 0;
+    for (int i = 0; i < c.numNodes(); ++i) {
+        int k = prof.maxLayers(c.node(i));
+        int count = std::min(k, 80 - at);
+        if (count <= 0) {
+            at = 0;
+            count = std::min(k, 80);
+        }
+        p[i] = {at, count};
+        at += count;
+    }
+    PlacementGraph graph(c, prof, p);
+    double flow = graph.maxThroughput();
+    double estimate = estimateServingThroughput(c, prof, p, graph);
+    EXPECT_LE(estimate, flow + 1e-6);
+    EXPECT_GE(estimate, 0.0);
+}
+
+TEST(ServingEstimate, PenalizesHighLatencyLinks)
+{
+    // Same placement, slower+higher-latency network: lower estimate.
+    Profiler prof(model::catalog::llama30b());
+    auto build = [&](double latency) {
+        ClusterSpec c;
+        for (int i = 0; i < 4; ++i) {
+            NodeSpec node;
+            node.name = "a100-" + std::to_string(i);
+            node.gpu = cluster::gpus::a100_40();
+            c.addNode(std::move(node));
+        }
+        c.setUniformLinks(10e9, latency);
+        return c;
+    };
+    ClusterSpec probe = build(1e-3);
+    int k = prof.maxLayers(probe.node(0));
+    // 4 A100s x k layers must cover 60.
+    ASSERT_GE(4 * k, 60);
+    ModelPlacement p;
+    p.nodes.resize(4);
+    int at = 0;
+    for (int i = 0; i < 4; ++i) {
+        int count = std::min(k, 60 - at);
+        p[i] = {at, count};
+        at += count;
+    }
+    ClusterSpec fast = build(1e-3);
+    ClusterSpec slow = build(200e-3);
+    PlacementGraph gf(fast, prof, p);
+    PlacementGraph gs(slow, prof, p);
+    double est_fast = estimateServingThroughput(fast, prof, p, gf);
+    double est_slow = estimateServingThroughput(slow, prof, p, gs);
+    EXPECT_GT(est_fast, est_slow);
+}
+
+} // namespace
+} // namespace placement
+} // namespace helix

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the trace substrate: length marginals match the published
+ * Azure Conversation statistics (Fig. 5 / Sec. 6.2), caps are honored,
+ * and arrival processes produce the configured rates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/trace.h"
+#include "util/stats.h"
+
+namespace helix {
+namespace trace {
+namespace {
+
+TEST(LengthSampler, TruncatedMeanFormula)
+{
+    // With a huge cap the truncated mean equals the raw log-normal
+    // mean exp(mu + sigma^2/2).
+    double mu = 5.0;
+    double sigma = 1.0;
+    double raw = std::exp(mu + 0.5 * sigma * sigma);
+    EXPECT_NEAR(
+        LengthSampler::truncatedLogNormalMean(mu, sigma, 1e12), raw,
+        raw * 1e-6);
+    // Truncation reduces the mean.
+    EXPECT_LT(LengthSampler::truncatedLogNormalMean(mu, sigma, raw),
+              raw);
+}
+
+TEST(LengthSampler, PromptMarginalsMatchAzureStats)
+{
+    LengthSampler sampler;
+    Rng rng(1234);
+    StatAccumulator acc;
+    for (int i = 0; i < 50000; ++i)
+        acc.add(sampler.samplePrompt(rng));
+    // Paper: mean input 763, max 2048.
+    EXPECT_NEAR(acc.mean(), 763.0, 25.0);
+    EXPECT_LE(acc.max(), 2048.0);
+    EXPECT_GE(acc.min(), 1.0);
+}
+
+TEST(LengthSampler, OutputMarginalsMatchAzureStats)
+{
+    LengthSampler sampler;
+    Rng rng(77);
+    StatAccumulator acc;
+    for (int i = 0; i < 50000; ++i)
+        acc.add(sampler.sampleOutput(rng));
+    // Paper: mean output 232, max 1024.
+    EXPECT_NEAR(acc.mean(), 232.0, 10.0);
+    EXPECT_LE(acc.max(), 1024.0);
+}
+
+TEST(LengthSampler, CustomModelRespected)
+{
+    LengthModel model;
+    model.targetMeanPrompt = 100.0;
+    model.maxPromptLen = 256;
+    LengthSampler sampler(model);
+    Rng rng(9);
+    StatAccumulator acc;
+    for (int i = 0; i < 20000; ++i)
+        acc.add(sampler.samplePrompt(rng));
+    EXPECT_NEAR(acc.mean(), 100.0, 6.0);
+    EXPECT_LE(acc.max(), 256.0);
+}
+
+TEST(PoissonArrivals, RateMatches)
+{
+    PoissonArrivals arrivals(5.0);
+    Rng rng(31);
+    double t = 0.0;
+    int count = 0;
+    while (t < 2000.0) {
+        t = arrivals.nextArrival(t, rng);
+        ++count;
+    }
+    EXPECT_NEAR(count / 2000.0, 5.0, 0.25);
+}
+
+TEST(PoissonArrivals, StrictlyIncreasing)
+{
+    PoissonArrivals arrivals(100.0);
+    Rng rng(37);
+    double t = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+        double next = arrivals.nextArrival(t, rng);
+        EXPECT_GT(next, t);
+        t = next;
+    }
+}
+
+TEST(DiurnalArrivals, MeanRatePreserved)
+{
+    DiurnalArrivals arrivals(4.0, 0.3, 100.0);
+    Rng rng(41);
+    double t = 0.0;
+    int count = 0;
+    // Integrate over many whole periods so modulation averages out.
+    while (t < 5000.0) {
+        t = arrivals.nextArrival(t, rng);
+        ++count;
+    }
+    EXPECT_NEAR(count / 5000.0, 4.0, 0.3);
+}
+
+TEST(DiurnalArrivals, RateOscillates)
+{
+    DiurnalArrivals arrivals(10.0, 0.5, 200.0);
+    EXPECT_NEAR(arrivals.rateAt(50.0), 15.0, 1e-9);  // peak
+    EXPECT_NEAR(arrivals.rateAt(150.0), 5.0, 1e-9);  // trough
+    EXPECT_NEAR(arrivals.rateAt(0.0), 10.0, 1e-9);   // mean
+}
+
+TEST(TraceGenerator, GenerateWithinDuration)
+{
+    TraceGenerator gen(99);
+    PoissonArrivals arrivals(10.0);
+    auto requests = gen.generate(100.0, arrivals);
+    EXPECT_NEAR(requests.size(), 1000u, 150u);
+    for (size_t i = 0; i < requests.size(); ++i) {
+        EXPECT_LT(requests[i].arrivalS, 100.0);
+        EXPECT_EQ(requests[i].id, static_cast<int>(i));
+        EXPECT_GE(requests[i].promptLen, 1);
+        EXPECT_GE(requests[i].outputLen, 1);
+        if (i > 0)
+            EXPECT_GE(requests[i].arrivalS, requests[i - 1].arrivalS);
+    }
+}
+
+TEST(TraceGenerator, GenerateCountExact)
+{
+    TraceGenerator gen(7);
+    PoissonArrivals arrivals(1.0);
+    auto requests = gen.generateCount(123, arrivals);
+    EXPECT_EQ(requests.size(), 123u);
+}
+
+TEST(TraceGenerator, DeterministicForSeed)
+{
+    TraceGenerator a(5);
+    TraceGenerator b(5);
+    PoissonArrivals arr_a(2.0);
+    PoissonArrivals arr_b(2.0);
+    auto ra = a.generateCount(50, arr_a);
+    auto rb = b.generateCount(50, arr_b);
+    for (size_t i = 0; i < ra.size(); ++i) {
+        EXPECT_DOUBLE_EQ(ra[i].arrivalS, rb[i].arrivalS);
+        EXPECT_EQ(ra[i].promptLen, rb[i].promptLen);
+        EXPECT_EQ(ra[i].outputLen, rb[i].outputLen);
+    }
+}
+
+} // namespace
+} // namespace trace
+} // namespace helix

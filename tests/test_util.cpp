@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Unit tests for the util module: RNG determinism and distribution
+ * sanity, statistics accumulators, histograms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace helix {
+namespace {
+
+TEST(SplitMix64, DeterministicSequence)
+{
+    SplitMix64 a(42);
+    SplitMix64 b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer)
+{
+    SplitMix64 a(1);
+    SplitMix64 b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double x = rng.nextDouble();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, BoundedRespectsBound)
+{
+    Rng rng(7);
+    for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(rng.nextBounded(bound), bound);
+    }
+}
+
+TEST(Rng, BoundedCoversAllValues)
+{
+    Rng rng(7);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextBounded(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, IntInclusiveRange)
+{
+    Rng rng(9);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        int64_t v = rng.nextInt(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextExponential(4.0);
+    EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(13);
+    const int n = 200000;
+    double sum = 0.0;
+    double sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.nextNormal(5.0, 2.0);
+        sum += x;
+        sq += x * x;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 5.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, WeightedChoiceProportions)
+{
+    Rng rng(17);
+    std::vector<double> weights{1.0, 3.0, 6.0};
+    std::vector<int> counts(3, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.nextWeighted(weights)];
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+    EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, WeightedChoiceAllZeroReturnsSentinel)
+{
+    Rng rng(19);
+    std::vector<double> weights{0.0, 0.0};
+    EXPECT_EQ(rng.nextWeighted(weights),
+              std::numeric_limits<size_t>::max());
+}
+
+TEST(Rng, WeightedChoiceSkipsZeroWeight)
+{
+    Rng rng(23);
+    std::vector<double> weights{0.0, 1.0, 0.0};
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.nextWeighted(weights), 1u);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(29);
+    std::vector<int> items{1, 2, 3, 4, 5, 6, 7};
+    auto copy = items;
+    rng.shuffle(items);
+    std::sort(items.begin(), items.end());
+    EXPECT_EQ(items, copy);
+}
+
+TEST(StatAccumulator, EmptyIsZero)
+{
+    StatAccumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.percentile(50), 0.0);
+}
+
+TEST(StatAccumulator, MeanAndStddev)
+{
+    StatAccumulator acc;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        acc.add(v);
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    EXPECT_NEAR(acc.stddev(), 2.138, 1e-3);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+    EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(StatAccumulator, PercentilesInterpolate)
+{
+    StatAccumulator acc;
+    for (int i = 1; i <= 100; ++i)
+        acc.add(static_cast<double>(i));
+    EXPECT_NEAR(acc.percentile(0), 1.0, 1e-9);
+    EXPECT_NEAR(acc.percentile(100), 100.0, 1e-9);
+    EXPECT_NEAR(acc.median(), 50.5, 1e-9);
+    EXPECT_NEAR(acc.percentile(25), 25.75, 1e-9);
+    EXPECT_NEAR(acc.percentile(95), 95.05, 1e-9);
+}
+
+TEST(StatAccumulator, InterleavedAddAndQuery)
+{
+    StatAccumulator acc;
+    acc.add(10.0);
+    EXPECT_DOUBLE_EQ(acc.median(), 10.0);
+    acc.add(20.0);
+    EXPECT_DOUBLE_EQ(acc.median(), 15.0);
+    acc.add(0.0);
+    EXPECT_DOUBLE_EQ(acc.median(), 10.0);
+}
+
+TEST(StatAccumulator, ClearResets)
+{
+    StatAccumulator acc;
+    acc.add(3.0);
+    acc.clear();
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.sum(), 0.0);
+}
+
+TEST(Histogram, BucketsAndEdges)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_EQ(h.numBuckets(), 5u);
+    EXPECT_DOUBLE_EQ(h.bucketLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.bucketHigh(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.bucketLow(4), 8.0);
+    EXPECT_DOUBLE_EQ(h.bucketHigh(4), 10.0);
+}
+
+TEST(Histogram, CountsFallInRightBuckets)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);
+    h.add(1.9);
+    h.add(2.0);
+    h.add(9.99);
+    h.add(-1.0);
+    h.add(10.0);
+    h.add(100.0);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.totalCount(), 7u);
+}
+
+TEST(Histogram, RenderProducesOneLinePerBucket)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.add(1.0);
+    std::string text = h.render();
+    size_t lines = std::count(text.begin(), text.end(), '\n');
+    EXPECT_EQ(lines, 4u);
+}
+
+} // namespace
+} // namespace helix
