@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "core/helix.h"
@@ -17,7 +18,13 @@
 namespace helix {
 namespace bench {
 
-/** Experiment scale knobs, reduced when HELIX_BENCH_FAST is set. */
+/**
+ * Experiment scale knobs. Three tiers:
+ *  - full (default): the paper's warmup/measure windows;
+ *  - fast (HELIX_BENCH_FAST env): reduced windows for quick local runs;
+ *  - smoke (`--smoke` flag): minimal windows so CTest can exercise
+ *    every figure end-to-end in about a second per binary.
+ */
 struct Scale
 {
     double plannerBudgetS = 6.0;
@@ -36,6 +43,29 @@ struct Scale
             scale.offlineMeasureS = 60.0;
             scale.onlineWarmupS = 20.0;
             scale.onlineMeasureS = 60.0;
+        }
+        return scale;
+    }
+
+    /**
+     * Parse command-line flags on top of the environment defaults.
+     * `--smoke` overrides everything with the minimal tier.
+     */
+    static Scale
+    fromArgs(int argc, char **argv)
+    {
+        Scale scale = fromEnv();
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--smoke") == 0) {
+                scale.plannerBudgetS = 0.05;
+                scale.offlineWarmupS = 1.0;
+                scale.offlineMeasureS = 3.0;
+                scale.onlineWarmupS = 1.0;
+                scale.onlineMeasureS = 3.0;
+            } else {
+                std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+                std::exit(2);
+            }
         }
         return scale;
     }

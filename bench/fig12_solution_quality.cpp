@@ -18,12 +18,12 @@
 #include "placement/milp_formulation.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace helix;
     using namespace helix::bench;
 
-    Scale scale = Scale::fromEnv();
+    Scale scale = Scale::fromArgs(argc, argv);
     model::TransformerSpec model_spec = model::catalog::llama30b();
 
     // --- Exact MILP on a reduced instance (2 L4 + 3 T4, 20 layers):

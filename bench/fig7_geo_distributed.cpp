@@ -16,12 +16,12 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace helix;
     using namespace helix::bench;
 
-    Scale scale = Scale::fromEnv();
+    Scale scale = Scale::fromArgs(argc, argv);
     cluster::ClusterSpec clus = cluster::setups::geoDistributed24();
     std::printf("cluster: %s (3 regions, inter 100 Mb/s / 50 ms)\n",
                 clus.summary().c_str());

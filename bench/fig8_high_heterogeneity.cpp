@@ -15,12 +15,12 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace helix;
     using namespace helix::bench;
 
-    Scale scale = Scale::fromEnv();
+    Scale scale = Scale::fromArgs(argc, argv);
     cluster::ClusterSpec clus =
         cluster::setups::highHeterogeneity42();
     std::printf("cluster: %s\n", clus.summary().c_str());

@@ -91,9 +91,9 @@ runSetting(const cluster::ClusterSpec &clus, const char *setting,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    Scale scale = Scale::fromEnv();
+    Scale scale = Scale::fromArgs(argc, argv);
     runSetting(cluster::setups::singleCluster24(), "single cluster",
                scale);
     runSetting(cluster::setups::geoDistributed24(), "geo-distributed",

@@ -13,6 +13,7 @@
 #include "cluster/profiler.h"
 #include "flow/max_flow.h"
 #include "lp/simplex.h"
+#include "milp/branch_and_bound.h"
 #include "model/transformer.h"
 #include "placement/placement_graph.h"
 #include "placement/planners.h"
@@ -115,6 +116,60 @@ BM_SimplexLp(benchmark::State &state)
         benchmark::DoNotOptimize(solver.solve(problem).objective);
 }
 BENCHMARK(BM_SimplexLp)->Arg(10)->Arg(40)->Arg(100);
+
+void
+BM_BranchAndBound(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    Rng rng(11);
+    milp::MilpProblem problem;
+    for (int v = 0; v < n; ++v)
+        problem.addBinary(rng.nextUniform(1.0, 10.0));
+    // Multi-dimensional knapsack: pick items under three budgets.
+    for (int c = 0; c < 3; ++c) {
+        std::vector<std::pair<int, double>> terms;
+        for (int v = 0; v < n; ++v)
+            terms.push_back({v, rng.nextUniform(0.0, 5.0)});
+        problem.addConstraint(terms, lp::Relation::LessEq, 0.6 * n);
+    }
+    milp::BranchAndBound solver;
+    milp::BnbConfig config;
+    config.timeLimitSeconds = 30.0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(solver.solve(problem, config).objective);
+}
+BENCHMARK(BM_BranchAndBound)->Arg(10)->Arg(18);
+
+/**
+ * Same instances, but with the early-stop configuration the Helix
+ * planner uses (Sec. 4.5): a known objective upper bound (here the
+ * root LP relaxation) and a closeness threshold. Measures how quickly
+ * the solver reaches a good-enough incumbent rather than a proof.
+ */
+void
+BM_BranchAndBoundEarlyStop(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    Rng rng(11);
+    milp::MilpProblem problem;
+    for (int v = 0; v < n; ++v)
+        problem.addBinary(rng.nextUniform(1.0, 10.0));
+    for (int c = 0; c < 3; ++c) {
+        std::vector<std::pair<int, double>> terms;
+        for (int v = 0; v < n; ++v)
+            terms.push_back({v, rng.nextUniform(0.0, 5.0)});
+        problem.addConstraint(terms, lp::Relation::LessEq, 0.6 * n);
+    }
+    lp::SimplexSolver root;
+    milp::BranchAndBound solver;
+    milp::BnbConfig config;
+    config.timeLimitSeconds = 30.0;
+    config.objectiveUpperBound = root.solve(problem.lp()).objective;
+    config.earlyStopFraction = 0.9;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(solver.solve(problem, config).objective);
+}
+BENCHMARK(BM_BranchAndBoundEarlyStop)->Arg(10)->Arg(18);
 
 void
 BM_IwrrPick(benchmark::State &state)

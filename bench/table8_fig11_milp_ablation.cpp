@@ -63,9 +63,9 @@ planAndMeasure(const cluster::ClusterSpec &clus,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    Scale scale = Scale::fromEnv();
+    Scale scale = Scale::fromArgs(argc, argv);
     model::TransformerSpec model_spec = model::catalog::llama70b();
     cluster::Profiler profiler(model_spec);
 

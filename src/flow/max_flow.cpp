@@ -1,7 +1,6 @@
 #include "flow/max_flow.h"
 
 #include <algorithm>
-#include <deque>
 #include <limits>
 
 #include "util/logging.h"
@@ -17,10 +16,29 @@ void
 PreflowPush::activate(NodeId node)
 {
     int lbl = label[node];
-    if (lbl >= static_cast<int>(buckets.size()))
-        buckets.resize(lbl + 1);
     buckets[lbl].push_back(node);
     highestActive = std::max(highestActive, lbl);
+}
+
+void
+PreflowPush::labelInsert(NodeId node, int lbl)
+{
+    labelPrev[node] = kInvalidNode;
+    labelNext[node] = labelFirst[lbl];
+    if (labelFirst[lbl] != kInvalidNode)
+        labelPrev[labelFirst[lbl]] = node;
+    labelFirst[lbl] = node;
+}
+
+void
+PreflowPush::labelErase(NodeId node, int lbl)
+{
+    if (labelPrev[node] != kInvalidNode)
+        labelNext[labelPrev[node]] = labelNext[node];
+    else
+        labelFirst[lbl] = labelNext[node];
+    if (labelNext[node] != kInvalidNode)
+        labelPrev[labelNext[node]] = labelPrev[node];
 }
 
 void
@@ -38,37 +56,32 @@ PreflowPush::push(EdgeId edge_id)
 void
 PreflowPush::relabel(NodeId node)
 {
+    const int n = static_cast<int>(graph.numNodes());
     int min_label = std::numeric_limits<int>::max();
     for (EdgeId id : graph.outEdges(node)) {
         const Edge &e = graph.edge(id);
         if (e.capacity > kFlowEps)
             min_label = std::min(min_label, label[e.to]);
     }
-    int old = label[node];
-    --labelCount[old];
-    if (min_label == std::numeric_limits<int>::max()) {
-        label[node] = static_cast<int>(2 * graph.numNodes());
-    } else {
-        label[node] = min_label + 1;
-    }
-    int n = static_cast<int>(graph.numNodes());
-    if (label[node] < 2 * n + 1) {
-        if (static_cast<size_t>(label[node]) >= labelCount.size())
-            labelCount.resize(label[node] + 1, 0);
-        ++labelCount[label[node]];
-    }
-    // Gap heuristic: if no node remains at the old label and the old
-    // label is below n, every node with a larger label (below n) can
-    // never reach the sink again; lift them above n.
-    if (old < n && labelCount[old] == 0) {
-        for (NodeId v = 0; v < n; ++v) {
-            if (label[v] > old && label[v] < n) {
-                --labelCount[label[v]];
+    const int old = label[node];
+    labelErase(node, old);
+    label[node] = (min_label == std::numeric_limits<int>::max())
+                      ? n + 1
+                      : min_label + 1;
+    if (label[node] < n)
+        labelInsert(node, label[node]);
+    // Gap heuristic: if no node remains at the old label, every node
+    // with a larger label (below n) can never reach the sink again;
+    // lift them above n, which parks them until phase 2. The
+    // membership lists make this touch only the lifted nodes.
+    if (labelFirst[old] == kInvalidNode) {
+        for (int g = old + 1; g < n; ++g) {
+            for (NodeId v = labelFirst[g]; v != kInvalidNode;) {
+                NodeId next = labelNext[v];
                 label[v] = n + 1;
-                if (static_cast<size_t>(label[v]) >= labelCount.size())
-                    labelCount.resize(label[v] + 1, 0);
-                ++labelCount[label[v]];
+                v = next;
             }
+            labelFirst[g] = kInvalidNode;
         }
     }
     currentArc[node] = 0;
@@ -78,43 +91,41 @@ PreflowPush::relabel(NodeId node)
 void
 PreflowPush::globalRelabel(NodeId source, NodeId sink)
 {
-    int n = static_cast<int>(graph.numNodes());
-    std::fill(label.begin(), label.end(), 2 * n);
-    labelCount.assign(2 * n + 2, 0);
+    const int n = static_cast<int>(graph.numNodes());
+    // Exact distance labels via reverse BFS from the sink. Nodes that
+    // cannot reach the sink are parked at n + 1; phase 2 returns their
+    // excess to the source.
+    std::fill(label.begin(), label.end(), n + 1);
     label[sink] = 0;
-    std::deque<NodeId> queue{sink};
-    while (!queue.empty()) {
-        NodeId u = queue.front();
-        queue.pop_front();
+    bfsQueue.clear();
+    bfsQueue.push_back(sink);
+    for (size_t head = 0; head < bfsQueue.size(); ++head) {
+        NodeId u = bfsQueue[head];
+        const int next_label = label[u] + 1;
         for (EdgeId id : graph.outEdges(u)) {
             // Traverse edges backwards: v can reach u if the residual
             // edge v->u has capacity, i.e. the twin of u->v does.
             const Edge &twin = graph.edge(id ^ 1);
             NodeId v = twin.from;
-            if (v != u) {
-                // Twin edges from v to u: check residual capacity.
-                if (twin.capacity > kFlowEps && label[v] == 2 * n &&
-                    v != source) {
-                    label[v] = label[u] + 1;
-                    queue.push_back(v);
-                }
+            if (twin.capacity > kFlowEps && label[v] == n + 1 &&
+                v != source) {
+                label[v] = next_label;
+                bfsQueue.push_back(v);
             }
         }
     }
     label[source] = n;
-    for (NodeId v = 0; v < n; ++v) {
-        if (label[v] <= 2 * n + 1)
-            ++labelCount[label[v]];
-    }
+    std::fill(labelFirst.begin(), labelFirst.end(), kInvalidNode);
     std::fill(currentArc.begin(), currentArc.end(), 0);
-    // Rebuild the active buckets from scratch.
-    buckets.assign(2 * n + 2, {});
-    highestActive = 0;
+    for (auto &bucket : buckets)
+        bucket.clear();
+    highestActive = -1;
     for (NodeId v = 0; v < n; ++v) {
-        if (v != source && v != sink && excess[v] > kFlowEps &&
-            label[v] < 2 * n) {
+        if (v == source || label[v] >= n)
+            continue;
+        labelInsert(v, label[v]);
+        if (v != sink && excess[v] > kFlowEps)
             activate(v);
-        }
     }
     workSinceRelabel = 0;
 }
@@ -122,16 +133,18 @@ PreflowPush::globalRelabel(NodeId source, NodeId sink)
 void
 PreflowPush::discharge(NodeId node, NodeId source, NodeId sink)
 {
-    int n = static_cast<int>(graph.numNodes());
+    const int n = static_cast<int>(graph.numNodes());
+    const auto &out = graph.outEdges(node);
+    const size_t degree = out.size();
     while (excess[node] > kFlowEps) {
-        const auto &out = graph.outEdges(node);
-        if (currentArc[node] >= out.size()) {
+        size_t arc = currentArc[node];
+        if (arc >= degree) {
             relabel(node);
-            if (label[node] >= 2 * n)
-                return; // Unreachable from sink; excess stays put.
+            if (label[node] >= n)
+                return; // Cannot reach the sink; phase 2 handles it.
             continue;
         }
-        EdgeId id = out[currentArc[node]];
+        EdgeId id = out[arc];
         const Edge &e = graph.edge(id);
         if (e.capacity > kFlowEps && label[node] == label[e.to] + 1) {
             bool to_was_inactive = excess[e.to] <= kFlowEps;
@@ -142,7 +155,7 @@ PreflowPush::discharge(NodeId node, NodeId source, NodeId sink)
                 activate(e.to);
             }
         } else {
-            ++currentArc[node];
+            currentArc[node] = arc + 1;
         }
     }
 }
@@ -155,44 +168,42 @@ PreflowPush::solve(NodeId source, NodeId sink)
     excess.assign(n, 0.0);
     label.assign(n, 0);
     currentArc.assign(n, 0);
-    labelCount.assign(2 * n + 2, 0);
-    buckets.assign(2 * n + 2, {});
-    highestActive = 0;
+    labelFirst.assign(n, kInvalidNode);
+    labelNext.assign(n, kInvalidNode);
+    labelPrev.assign(n, kInvalidNode);
+    buckets.resize(n);
+    for (auto &bucket : buckets)
+        bucket.clear();
+    highestActive = -1;
 
-    label[source] = static_cast<int>(n);
-    labelCount[0] = static_cast<int>(n) - 1;
-    labelCount[n] = 1;
-
-    // Saturate all edges out of the source.
+    // Saturate all edges out of the source (self-loops carry no flow).
     for (EdgeId id : graph.outEdges(source)) {
         if ((id & 1) == 0) {
             Edge &e = graph.edge(id);
-            if (e.capacity > kFlowEps) {
+            if (e.capacity > kFlowEps && e.to != source) {
                 excess[source] += e.capacity;
                 push(id);
-                if (e.to != sink && excess[e.to] > kFlowEps)
-                    activate(e.to);
             }
         }
     }
+    // Exact initial labels and the initial active set.
+    globalRelabel(source, sink);
 
     const long relabel_interval = 6 * static_cast<long>(n) +
                                   static_cast<long>(graph.numEdges());
 
     while (highestActive >= 0) {
-        if (workSinceRelabel > relabel_interval)
+        if (workSinceRelabel > relabel_interval) {
             globalRelabel(source, sink);
-        while (highestActive >= 0 &&
-               (static_cast<size_t>(highestActive) >= buckets.size() ||
-                buckets[highestActive].empty())) {
-            --highestActive;
+            continue; // Active buckets were rebuilt.
         }
-        if (highestActive < 0)
-            break;
-        NodeId node = buckets[highestActive].back();
-        buckets[highestActive].pop_back();
-        if (node == source || node == sink)
+        auto &bucket = buckets[highestActive];
+        if (bucket.empty()) {
+            --highestActive;
             continue;
+        }
+        NodeId node = bucket.back();
+        bucket.pop_back();
         if (excess[node] <= kFlowEps || label[node] != highestActive)
             continue; // Stale bucket entry.
         discharge(node, source, sink);
@@ -206,7 +217,7 @@ PreflowPush::solve(NodeId source, NodeId sink)
 void
 PreflowPush::convertToFlow(NodeId source, NodeId sink)
 {
-    // Phase 2: nodes parked at label >= 2n may still hold excess that
+    // Phase 2: nodes parked at label >= n may still hold excess that
     // never reached the sink. Return it to the source by cancelling
     // flow along residual walks, so the recorded edge flows satisfy
     // conservation (required by flow decomposition and IWRR weights).
@@ -304,10 +315,9 @@ Dinic::buildLevels(NodeId source, NodeId sink)
 {
     level.assign(graph.numNodes(), -1);
     level[source] = 0;
-    std::deque<NodeId> queue{source};
-    while (!queue.empty()) {
-        NodeId u = queue.front();
-        queue.pop_front();
+    std::vector<NodeId> queue{source};
+    for (size_t head = 0; head < queue.size(); ++head) {
+        NodeId u = queue[head];
         for (EdgeId id : graph.outEdges(u)) {
             const Edge &e = graph.edge(id);
             if (e.capacity > kFlowEps && level[e.to] < 0) {
@@ -364,10 +374,9 @@ minCutSourceSide(const FlowGraph &graph, NodeId source)
 {
     std::vector<bool> reachable(graph.numNodes(), false);
     reachable[source] = true;
-    std::deque<NodeId> queue{source};
-    while (!queue.empty()) {
-        NodeId u = queue.front();
-        queue.pop_front();
+    std::vector<NodeId> queue{source};
+    for (size_t head = 0; head < queue.size(); ++head) {
+        NodeId u = queue[head];
         for (EdgeId id : graph.outEdges(u)) {
             const Edge &e = graph.edge(id);
             if (e.capacity > kFlowEps && !reachable[e.to]) {

@@ -62,15 +62,35 @@ class PreflowPush
     /** Move a node into its label's active bucket. */
     void activate(NodeId node);
 
+    /** Insert @p node into the membership list of label @p lbl. */
+    void labelInsert(NodeId node, int lbl);
+
+    /** Unlink @p node from the membership list of label @p lbl. */
+    void labelErase(NodeId node, int lbl);
+
     FlowGraph &graph;
     std::vector<double> excess;
     std::vector<int> label;
     std::vector<size_t> currentArc;
-    /** Active-node buckets indexed by label (highest-label rule). */
+    /**
+     * Active-node buckets indexed by label (highest-label rule). Only
+     * labels below n are ever active: a node relabeled to n or above
+     * can no longer reach the sink, so its excess is parked until the
+     * phase-2 conversion returns it to the source.
+     */
     std::vector<std::vector<NodeId>> buckets;
-    /** Count of nodes per label, for the gap heuristic. */
-    std::vector<int> labelCount;
-    int highestActive = 0;
+    /**
+     * Intrusive doubly-linked membership lists over every non-source
+     * node with label < n, indexed by label. They give the gap
+     * heuristic exact emptiness checks and let it lift only the nodes
+     * above a gap instead of rescanning all n nodes per gap event.
+     */
+    std::vector<NodeId> labelFirst;
+    std::vector<NodeId> labelNext;
+    std::vector<NodeId> labelPrev;
+    /** Reusable queue for the global-relabel reverse BFS. */
+    std::vector<NodeId> bfsQueue;
+    int highestActive = -1;
     long workSinceRelabel = 0;
 };
 

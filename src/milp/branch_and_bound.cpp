@@ -155,6 +155,62 @@ BranchAndBound::solve(const MilpProblem &problem,
         }
     };
 
+    // Early-exit predicates against the incumbent. `prunable` says a
+    // node (or subtree) with the given LP bound cannot beat the
+    // incumbent by more than the gap tolerance; `goodEnough` says the
+    // incumbent already reached the caller-supplied objective target,
+    // so the search can stop before proving optimality.
+    auto prunable = [&](double bound) {
+        return incumbent_obj > -lp::LpProblem::kInfinity &&
+               bound <=
+                   incumbent_obj * (1.0 + config.relativeGap) + 1e-12;
+    };
+    auto goodEnough = [&] {
+        return config.objectiveUpperBound &&
+               incumbent_obj > -lp::LpProblem::kInfinity &&
+               incumbent_obj >= *config.objectiveUpperBound *
+                                    config.earlyStopFraction;
+    };
+
+    // Try rounded copies of an LP-relaxation solution as incumbents:
+    // first nearest-rounding, then floor-rounding (which stays
+    // feasible whenever the binding constraints have nonnegative
+    // coefficients, the common shape of Helix's placement MILP). Cheap
+    // (a feasibility scan each) and often turns the first few node
+    // solves into a strong pruning bound. @return true on improvement.
+    auto tryRounded = [&](const std::vector<double> &relaxed,
+                          double node_bound) {
+        bool improved = false;
+        std::vector<double> values(relaxed.size());
+        for (int attempt = 0; attempt < 2; ++attempt) {
+            bool differs_from_round = false;
+            for (int v = 0; v < problem.numVariables(); ++v) {
+                double x = relaxed[v];
+                if (!problem.isIntegral(v)) {
+                    values[v] = x;
+                    continue;
+                }
+                values[v] = attempt == 0 ? std::round(x)
+                                         : std::floor(x + 1e-9);
+                differs_from_round |= values[v] != std::round(x);
+            }
+            // Floor-rounding that matches nearest-rounding would just
+            // repeat attempt 0's feasibility scan.
+            if (attempt == 1 && !differs_from_round)
+                break;
+            if (!problem.isFeasible(values, 1e-5))
+                continue;
+            double obj = problem.objectiveValue(values);
+            if (obj <= incumbent_obj)
+                continue;
+            incumbent_obj = obj;
+            incumbent = values;
+            record(node_bound);
+            improved = true;
+        }
+        return improved;
+    };
+
     // Seed the incumbent with the best feasible warm start.
     for (const auto &hint : config.warmStarts) {
         if (problem.isFeasible(hint)) {
@@ -196,6 +252,11 @@ BranchAndBound::solve(const MilpProblem &problem,
     bool hit_limit = false;
 
     while (!open.empty()) {
+        // Best-first order makes the top-of-queue bound the global
+        // upper bound over all open subtrees.
+        best_open_bound = open.top().bound;
+        if (goodEnough())
+            break;
         if (elapsed() > config.timeLimitSeconds ||
             result.nodesExplored >= config.nodeLimit) {
             hit_limit = true;
@@ -203,20 +264,12 @@ BranchAndBound::solve(const MilpProblem &problem,
         }
         SearchNode node = open.top();
         open.pop();
-        best_open_bound = node.bound;
 
-        // Global early-stop checks against the incumbent.
-        if (incumbent_obj > -lp::LpProblem::kInfinity) {
-            if (node.bound <=
-                incumbent_obj * (1.0 + config.relativeGap) + 1e-12) {
-                exhausted = true;
-                break;
-            }
-            if (config.objectiveUpperBound &&
-                incumbent_obj >= *config.objectiveUpperBound *
-                                     config.earlyStopFraction) {
-                break;
-            }
+        // The queue is bound-ordered, so an unpromising top node
+        // proves every open subtree is within the gap tolerance.
+        if (prunable(node.bound)) {
+            exhausted = true;
+            break;
         }
 
         lp::LpResult lp_res = solveNode(node.bounds);
@@ -231,11 +284,8 @@ BranchAndBound::solve(const MilpProblem &problem,
             continue;
         }
         double node_bound = lp_res.objective;
-        if (incumbent_obj > -lp::LpProblem::kInfinity &&
-            node_bound <=
-                incumbent_obj * (1.0 + config.relativeGap) + 1e-12) {
+        if (prunable(node_bound))
             continue;
-        }
 
         // Find the most fractional integer variable.
         int branch_var = -1;
@@ -254,19 +304,18 @@ BranchAndBound::solve(const MilpProblem &problem,
 
         if (branch_var < 0) {
             // Integral solution: round and accept as incumbent.
-            std::vector<double> values = lp_res.values;
-            for (int v = 0; v < problem.numVariables(); ++v) {
-                if (problem.isIntegral(v))
-                    values[v] = std::round(values[v]);
-            }
-            if (problem.isFeasible(values, 1e-5)) {
-                double obj = problem.objectiveValue(values);
-                if (obj > incumbent_obj) {
-                    incumbent_obj = obj;
-                    incumbent = std::move(values);
-                    record(node_bound);
-                }
-            }
+            tryRounded(lp_res.values, node_bound);
+            continue;
+        }
+
+        // Fractional node: try the rounded relaxation as a heuristic
+        // incumbent before branching. When it succeeds, the improved
+        // bound may prune this very subtree (node_bound is its upper
+        // bound) or finish the search outright.
+        if (tryRounded(lp_res.values, node_bound) &&
+            (goodEnough() || prunable(node_bound))) {
+            if (goodEnough())
+                break;
             continue;
         }
 

@@ -54,6 +54,8 @@ UniformPlanner::plan(const cluster::ClusterSpec &cluster,
     const int n = cluster.numNodes();
     const int num_layers = profiler.modelSpec().numLayers;
     ModelPlacement placement;
+    if (n == 0)
+        return placement;
     placement.nodes.resize(n);
     int stage = (num_layers + n - 1) / n;
     int at = 0;

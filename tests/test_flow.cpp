@@ -171,6 +171,39 @@ TEST(PreflowPush, ZeroCapacityEdgesCarryNothing)
     EXPECT_NEAR(solver.solve(s, t), 0.0, 1e-9);
 }
 
+TEST(PreflowPush, SelfLoopEdgesCarryNoFlow)
+{
+    FlowGraph g;
+    NodeId s = g.addNode("s");
+    NodeId m = g.addNode("m");
+    NodeId t = g.addNode("t");
+    EdgeId source_loop = g.addEdge(s, s, 9.0);
+    g.addEdge(s, m, 4.0);
+    EdgeId mid_loop = g.addEdge(m, m, 7.0);
+    g.addEdge(m, t, 3.0);
+    PreflowPush solver(g);
+    EXPECT_NEAR(solver.solve(s, t), 3.0, 1e-9);
+    EXPECT_NEAR(g.flowOn(source_loop), 0.0, 1e-9);
+    EXPECT_NEAR(g.flowOn(mid_loop), 0.0, 1e-9);
+}
+
+TEST(PreflowPush, ZeroCapacityBottleneckStrandsExcess)
+{
+    // The only exit from m has zero capacity, so the preflow pushed
+    // into m must be returned to the source by phase 2 and the flow
+    // value and recorded flows must all be zero.
+    FlowGraph g;
+    NodeId s = g.addNode();
+    NodeId m = g.addNode();
+    NodeId t = g.addNode();
+    EdgeId in = g.addEdge(s, m, 10.0);
+    EdgeId out = g.addEdge(m, t, 0.0);
+    PreflowPush solver(g);
+    EXPECT_NEAR(solver.solve(s, t), 0.0, 1e-9);
+    EXPECT_NEAR(g.flowOn(in), 0.0, 1e-9);
+    EXPECT_NEAR(g.flowOn(out), 0.0, 1e-9);
+}
+
 TEST(Dinic, MatchesKnownValue)
 {
     FlowGraph g;

@@ -133,6 +133,44 @@ TEST(IoFiles, WriteAndReadBack)
     EXPECT_FALSE(io::writeFile("/nonexistent/dir/file", "x"));
 }
 
+TEST(IoRoundTrip, ResaveIsByteIdentical)
+{
+    // save -> load -> re-save must reproduce the exact bytes, so
+    // artifacts can be diffed and checksummed across runs.
+    cluster::ClusterSpec clus = cluster::setups::geoDistributed24();
+    std::string cluster_text = io::clusterToString(clus);
+    auto cluster_parsed = io::clusterFromString(cluster_text);
+    ASSERT_TRUE(cluster_parsed.has_value());
+    EXPECT_EQ(io::clusterToString(*cluster_parsed), cluster_text);
+
+    placement::ModelPlacement placement;
+    placement.nodes = {{0, 10}, {10, 5}, {0, 0}, {15, 45}};
+    std::string placement_text = io::placementToString(placement);
+    auto placement_parsed = io::placementFromString(placement_text);
+    ASSERT_TRUE(placement_parsed.has_value());
+    EXPECT_EQ(io::placementToString(*placement_parsed),
+              placement_text);
+
+    // Arrival times that are not exactly representable in short
+    // decimal form must still re-save identically.
+    std::vector<trace::Request> requests = {
+        {0, 1.0 / 3.0, 763, 232},
+        {1, 2.0 / 7.0 + 1.0, 2048, 1},
+        {2, 3.125, 4, 1024},
+    };
+    std::string trace_text = io::traceToString(requests);
+    auto trace_parsed = io::traceFromString(trace_text);
+    ASSERT_TRUE(trace_parsed.has_value());
+    EXPECT_EQ(io::traceToString(*trace_parsed), trace_text);
+
+    // Empty trace round-trips too.
+    std::string empty_text = io::traceToString({});
+    auto empty_parsed = io::traceFromString(empty_text);
+    ASSERT_TRUE(empty_parsed.has_value());
+    EXPECT_TRUE(empty_parsed->empty());
+    EXPECT_EQ(io::traceToString(*empty_parsed), empty_text);
+}
+
 TEST(IoEndToEnd, ClusterPlacementTraceArtifacts)
 {
     // Full artifact cycle: serialize cluster + planner output + trace,

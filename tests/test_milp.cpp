@@ -103,6 +103,20 @@ TEST(BranchAndBound, InfeasibleIntegerProblem)
     EXPECT_EQ(r.status, MilpStatus::Infeasible);
 }
 
+TEST(BranchAndBound, LpFeasibleButIntegerInfeasible)
+{
+    // x + y = 1.5 with binary x and y: the LP relaxation is feasible
+    // (e.g. 0.5 + 1.0) but no integral point satisfies it, so the
+    // search must branch and prove infeasibility.
+    MilpProblem p;
+    int x = p.addBinary(1.0);
+    int y = p.addBinary(1.0);
+    p.addConstraint({{x, 1.0}, {y, 1.0}}, lp::Relation::Equal, 1.5);
+    BranchAndBound solver;
+    MilpResult r = solver.solve(p);
+    EXPECT_EQ(r.status, MilpStatus::Infeasible);
+}
+
 TEST(BranchAndBound, WarmStartBecomesIncumbent)
 {
     MilpProblem p;

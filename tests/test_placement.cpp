@@ -137,8 +137,9 @@ TEST(ConnectionFilter, PruningKeepsFastLinksFirst)
     for (int to = 0; to < c.numNodes(); ++to) {
         if (to == region1_node)
             continue;
-        if (c.node(to).region == 1)
+        if (c.node(to).region == 1) {
             EXPECT_TRUE(filter.allowed(region1_node, to));
+        }
     }
 }
 
@@ -199,10 +200,12 @@ TEST(PlacementGraphFig2, ReproducesConstruction)
     // A100->T4-1 carries 16 KB activations (Fig. 2b: 625K and 610).
     auto conns = graph.connections();
     for (const auto &conn : conns) {
-        if (conn.from == cluster::kCoordinator && conn.to == 0)
+        if (conn.from == cluster::kCoordinator && conn.to == 0) {
             EXPECT_NEAR(conn.capacity, 20e6 / 8.0 / 4.0, 1.0);
-        if (conn.from == 0 && conn.to == 1)
+        }
+        if (conn.from == 0 && conn.to == 1) {
             EXPECT_NEAR(conn.capacity, 80e6 / 8.0 / 16384.0, 1.0);
+        }
     }
 
     // Max flow is limited by network and node capacities and must be

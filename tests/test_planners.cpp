@@ -166,9 +166,59 @@ TEST_F(PlannerFixture, HelixRespectsHalfVramRule)
     HelixPlanner helix(config);
     ModelPlacement p = helix.plan(cluster, profiler);
     for (int i = 0; i < cluster.numNodes(); ++i) {
-        if (p[i].count > 0)
+        if (p[i].count > 0) {
             EXPECT_LE(p[i].count,
                       profiler.maxLayers(cluster.node(i)));
+        }
+    }
+}
+
+TEST(PlannerEdgeCases, EmptyClusterProducesEmptyPlacement)
+{
+    ClusterSpec empty;
+    empty.setUniformLinks(1e9, 1e-3);
+    Profiler prof(model::catalog::llama30b());
+    UniformPlanner uniform;
+    PetalsPlanner petals;
+    SwarmPlanner swarm;
+    SeparatePipelinesPlanner sp(false);
+    EXPECT_TRUE(uniform.plan(empty, prof).nodes.empty());
+    EXPECT_TRUE(petals.plan(empty, prof).nodes.empty());
+    EXPECT_TRUE(swarm.plan(empty, prof).nodes.empty());
+    EXPECT_TRUE(sp.plan(empty, prof).nodes.empty());
+    PlacementGraph graph(empty, prof, ModelPlacement{});
+    EXPECT_DOUBLE_EQ(graph.maxThroughput(), 0.0);
+}
+
+TEST(PlannerEdgeCases, SingleGpuHoldsWholeModel)
+{
+    // A model small enough for one A100 must be placed whole on the
+    // single node, and the resulting one-node pipeline must serve.
+    model::TransformerSpec toy;
+    toy.name = "toy4";
+    toy.numLayers = 4;
+    toy.hiddenSize = 2048;
+    toy.numHeads = 16;
+    toy.numKvHeads = 16;
+    toy.intermediateSize = 5504;
+    toy.vocabSize = 32000;
+
+    ClusterSpec solo;
+    solo.addNode({"solo", cluster::gpus::a100_80(), 1, 0});
+    solo.setUniformLinks(1e9, 1e-3);
+    Profiler prof(toy);
+
+    UniformPlanner uniform;
+    PetalsPlanner petals;
+    SwarmPlanner swarm;
+    for (Planner *planner :
+         std::initializer_list<Planner *>{&uniform, &petals, &swarm}) {
+        ModelPlacement p = planner->plan(solo, prof);
+        ASSERT_EQ(p.nodes.size(), 1u) << planner->name();
+        EXPECT_EQ(p[0].start, 0) << planner->name();
+        EXPECT_EQ(p[0].count, toy.numLayers) << planner->name();
+        EXPECT_TRUE(placementValid(p, solo, prof)) << planner->name();
+        EXPECT_GT(flowOf(solo, prof, p), 0.0) << planner->name();
     }
 }
 

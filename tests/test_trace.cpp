@@ -126,8 +126,9 @@ TEST(TraceGenerator, GenerateWithinDuration)
         EXPECT_EQ(requests[i].id, static_cast<int>(i));
         EXPECT_GE(requests[i].promptLen, 1);
         EXPECT_GE(requests[i].outputLen, 1);
-        if (i > 0)
+        if (i > 0) {
             EXPECT_GE(requests[i].arrivalS, requests[i - 1].arrivalS);
+        }
     }
 }
 
