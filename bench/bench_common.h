@@ -12,8 +12,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/helix.h"
+#include "exp/experiment.h"
 
 namespace helix {
 namespace bench {
@@ -117,6 +119,14 @@ printRatios(const std::vector<SystemResult> &rows)
     }
 }
 
+/** One system under test in a figure comparison. */
+struct System
+{
+    const char *name;
+    placement::Planner *planner;
+    SchedulerKind scheduler;
+};
+
 /** Offline run configuration at the given scale. */
 inline RunConfig
 offlineRun(const Scale &scale, uint64_t seed = 42)
@@ -147,6 +157,71 @@ onlineRun(const Scale &scale, double offline_decode_tokens_per_s,
     run.requestRate = 0.75 * offline_decode_tokens_per_s /
                       lengths.targetMeanOutput;
     return run;
+}
+
+/**
+ * Run one figure's offline + online comparison for @p model_spec over
+ * @p systems through the shared experiment-runner engine, printing
+ * the standard tables. Each system is planned once; the offline batch
+ * and the online batch (whose arrival rate is 75% of the measured
+ * offline Helix peak, Sec. 6.2) each execute on the runner's thread
+ * pool. Results are byte-identical to invoking runExperiment()
+ * per system directly.
+ */
+inline void
+runFigureComparison(const cluster::ClusterSpec &clus,
+                    const model::TransformerSpec &model_spec,
+                    const std::vector<System> &systems,
+                    const Scale &scale,
+                    const std::string &offline_title,
+                    const std::string &online_title)
+{
+    std::vector<Deployment> deployments;
+    deployments.reserve(systems.size());
+    for (const System &sys : systems)
+        deployments.emplace_back(clus, model_spec, *sys.planner);
+
+    exp::ExperimentRunner runner;
+    auto make_jobs = [&](const RunConfig &run) {
+        std::vector<exp::Job> jobs;
+        jobs.reserve(systems.size());
+        for (size_t i = 0; i < systems.size(); ++i) {
+            exp::Job job;
+            job.label = systems[i].name;
+            job.deployment = &deployments[i];
+            job.scheduler = systems[i].scheduler;
+            job.run = run;
+            jobs.push_back(std::move(job));
+        }
+        return jobs;
+    };
+    auto to_rows = [](const std::vector<exp::JobResult> &results) {
+        std::vector<SystemResult> rows;
+        rows.reserve(results.size());
+        for (const exp::JobResult &result : results) {
+            SystemResult row;
+            row.system = result.label;
+            row.plannedThroughput = result.plannedThroughput;
+            row.metrics = result.metrics;
+            rows.push_back(std::move(row));
+        }
+        return rows;
+    };
+
+    auto offline_rows =
+        to_rows(runner.run(make_jobs(offlineRun(scale))));
+    printHeader(offline_title.c_str());
+    for (const auto &row : offline_rows)
+        printRow(row);
+    printRatios(offline_rows);
+
+    double peak = offline_rows.front().metrics.decodeThroughput;
+    auto online_rows =
+        to_rows(runner.run(make_jobs(onlineRun(scale, peak))));
+    printHeader(online_title.c_str());
+    for (const auto &row : online_rows)
+        printRow(row);
+    printRatios(online_rows);
 }
 
 } // namespace bench

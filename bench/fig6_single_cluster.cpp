@@ -36,58 +36,15 @@ main(int argc, char **argv)
         placement::SwarmPlanner swarm_planner;
         placement::SeparatePipelinesPlanner sp_planner(false);
 
-        struct System
-        {
-            const char *name;
-            placement::Planner *planner;
-            SchedulerKind scheduler;
-        };
-        System systems[] = {
-            {"helix", &helix_planner, SchedulerKind::Helix},
-            {"swarm", &swarm_planner, SchedulerKind::Swarm},
-            {"sp", &sp_planner, SchedulerKind::FixedRoundRobin},
-        };
-
-        // --- Offline (Fig. 6a/c) ---
-        std::vector<Deployment> deployments;
-        std::vector<SystemResult> offline_rows;
-        deployments.reserve(3);
-        for (const System &sys : systems) {
-            deployments.emplace_back(clus, model_spec, *sys.planner);
-            Deployment &dep = deployments.back();
-            auto sched = makeScheduler(dep, sys.scheduler);
-            SystemResult row;
-            row.system = sys.name;
-            row.plannedThroughput = dep.plannedThroughput();
-            row.metrics =
-                runExperiment(dep, *sched, offlineRun(scale));
-            offline_rows.push_back(std::move(row));
-        }
-        std::string title = model_spec.name + " - offline (Fig. 6a/c)";
-        printHeader(title.c_str());
-        for (const auto &row : offline_rows)
-            printRow(row);
-        printRatios(offline_rows);
-
-        // --- Online (Fig. 6b/d + latency panels e-h) ---
-        double peak = offline_rows.front().metrics.decodeThroughput;
-        std::vector<SystemResult> online_rows;
-        for (size_t i = 0; i < deployments.size(); ++i) {
-            auto sched =
-                makeScheduler(deployments[i], systems[i].scheduler);
-            SystemResult row;
-            row.system = systems[i].name;
-            row.plannedThroughput =
-                deployments[i].plannedThroughput();
-            row.metrics = runExperiment(deployments[i], *sched,
-                                        onlineRun(scale, peak));
-            online_rows.push_back(std::move(row));
-        }
-        title = model_spec.name + " - online (Fig. 6b/d, e-h)";
-        printHeader(title.c_str());
-        for (const auto &row : online_rows)
-            printRow(row);
-        printRatios(online_rows);
+        // Declarative figure config over the shared experiment
+        // engine: offline (Fig. 6a/c) then online (Fig. 6b/d, e-h).
+        runFigureComparison(
+            clus, model_spec,
+            {{"helix", &helix_planner, SchedulerKind::Helix},
+             {"swarm", &swarm_planner, SchedulerKind::Swarm},
+             {"sp", &sp_planner, SchedulerKind::FixedRoundRobin}},
+            scale, model_spec.name + " - offline (Fig. 6a/c)",
+            model_spec.name + " - online (Fig. 6b/d, e-h)");
     }
 
     std::printf("\npaper reference (70B): helix/swarm 2.14x offline, "

@@ -35,54 +35,15 @@ main(int argc, char **argv)
     placement::SeparatePipelinesPlanner sp_planner(false);
     placement::SeparatePipelinesPlanner sp_plus_planner(true);
 
-    struct System
-    {
-        const char *name;
-        placement::Planner *planner;
-        SchedulerKind scheduler;
-    };
-    System systems[] = {
-        {"helix", &helix_planner, SchedulerKind::Helix},
-        {"swarm", &swarm_planner, SchedulerKind::Swarm},
-        {"sp", &sp_planner, SchedulerKind::FixedRoundRobin},
-        {"sp+", &sp_plus_planner, SchedulerKind::FixedRoundRobin},
-    };
-
-    std::vector<Deployment> deployments;
-    std::vector<SystemResult> offline_rows;
-    for (const System &sys : systems) {
-        deployments.emplace_back(clus, model_spec, *sys.planner);
-        Deployment &dep = deployments.back();
-        auto sched = makeScheduler(dep, sys.scheduler);
-        SystemResult row;
-        row.system = sys.name;
-        row.plannedThroughput = dep.plannedThroughput();
-        row.metrics = runExperiment(dep, *sched, offlineRun(scale));
-        offline_rows.push_back(std::move(row));
-    }
-    printHeader("LLaMA-70B - 42-node high heterogeneity, offline "
-                "(Fig. 8a)");
-    for (const auto &row : offline_rows)
-        printRow(row);
-    printRatios(offline_rows);
-
-    double peak = offline_rows.front().metrics.decodeThroughput;
-    std::vector<SystemResult> online_rows;
-    for (size_t i = 0; i < deployments.size(); ++i) {
-        auto sched =
-            makeScheduler(deployments[i], systems[i].scheduler);
-        SystemResult row;
-        row.system = systems[i].name;
-        row.plannedThroughput = deployments[i].plannedThroughput();
-        row.metrics = runExperiment(deployments[i], *sched,
-                                    onlineRun(scale, peak));
-        online_rows.push_back(std::move(row));
-    }
-    printHeader("LLaMA-70B - 42-node high heterogeneity, online "
-                "(Fig. 8b/c)");
-    for (const auto &row : online_rows)
-        printRow(row);
-    printRatios(online_rows);
+    runFigureComparison(
+        clus, model_spec,
+        {{"helix", &helix_planner, SchedulerKind::Helix},
+         {"swarm", &swarm_planner, SchedulerKind::Swarm},
+         {"sp", &sp_planner, SchedulerKind::FixedRoundRobin},
+         {"sp+", &sp_plus_planner, SchedulerKind::FixedRoundRobin}},
+        scale,
+        "LLaMA-70B - 42-node high heterogeneity, offline (Fig. 8a)",
+        "LLaMA-70B - 42-node high heterogeneity, online (Fig. 8b/c)");
 
     std::printf("\npaper reference: helix/swarm 1.37x offline 1.48x "
                 "online; helix/sp 2.91x / 3.29x; helix/sp+ 2.24x / "

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the discrete-event simulator
+ * and the trace generators. BM_Simulator measures the event-loop hot
+ * path (event dispatch, batch assembly, link serialization) end to
+ * end on a small fixed workload, so event-queue and batching changes
+ * are directly comparable across commits.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.h"
+#include "cluster/profiler.h"
+#include "model/transformer.h"
+#include "placement/placement_graph.h"
+#include "scheduler/scheduler.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+
+namespace {
+
+using namespace helix;
+
+/**
+ * Small deterministic fixture shared by the simulator benchmarks:
+ * four T4 nodes forming two parallel 2-stage pipelines over a
+ * 12-layer model, fast uniform network, and a pregenerated trace.
+ */
+struct SimBenchFixture
+{
+    cluster::ClusterSpec clus;
+    model::TransformerSpec toy;
+    std::unique_ptr<cluster::Profiler> profiler;
+    placement::ModelPlacement placement;
+    std::unique_ptr<placement::PlacementGraph> graph;
+    std::unique_ptr<scheduler::Topology> topo;
+    std::vector<trace::Request> requests;
+
+    explicit SimBenchFixture(int num_requests, double rate)
+    {
+        for (int i = 0; i < 4; ++i) {
+            cluster::NodeSpec node;
+            node.name = "t4-" + std::to_string(i);
+            node.gpu = cluster::gpus::t4();
+            clus.addNode(std::move(node));
+        }
+        clus.setUniformLinks(10e9, 1e-3);
+        toy = model::catalog::llama30b();
+        toy.numLayers = 12;
+        profiler = std::make_unique<cluster::Profiler>(toy);
+        placement.nodes = {{0, 6}, {6, 6}, {0, 6}, {6, 6}};
+        graph = std::make_unique<placement::PlacementGraph>(
+            clus, *profiler, placement);
+        topo = std::make_unique<scheduler::Topology>(clus, *profiler,
+                                                     placement, *graph);
+
+        trace::LengthModel lengths;
+        lengths.targetMeanPrompt = 120;
+        lengths.maxPromptLen = 512;
+        lengths.targetMeanOutput = 40;
+        lengths.maxOutputLen = 128;
+        trace::TraceGenerator gen(3, lengths);
+        trace::PoissonArrivals arrivals(rate);
+        requests = gen.generateCount(num_requests, arrivals);
+    }
+};
+
+/**
+ * End-to-end simulation of a fixed trace: dominated by event-queue
+ * push/pop, batch assembly in startBatch, and per-item bookkeeping in
+ * finishBatch.
+ */
+void
+BM_Simulator(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    SimBenchFixture fx(n, 10.0);
+    sim::SimConfig config;
+    config.warmupSeconds = 2.0;
+    config.measureSeconds = 120.0;
+    long decode_tokens = 0;
+    for (auto _ : state) {
+        scheduler::HelixScheduler sched(*fx.topo);
+        sim::ClusterSimulator sim(fx.clus, *fx.profiler, fx.placement,
+                                  sched, config);
+        auto metrics = sim.run(fx.requests);
+        decode_tokens += metrics.decodeTokensInWindow;
+        benchmark::DoNotOptimize(metrics);
+    }
+    state.counters["decode_tokens"] = static_cast<double>(
+        decode_tokens / std::max<long>(1, state.iterations()));
+}
+BENCHMARK(BM_Simulator)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+
+/** Trace generation throughput (length sampling + arrival process). */
+void
+BM_TraceGenerate(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        trace::TraceGenerator gen(7);
+        trace::PoissonArrivals arrivals(20.0);
+        benchmark::DoNotOptimize(gen.generateCount(n, arrivals));
+    }
+}
+BENCHMARK(BM_TraceGenerate)->Arg(1000);
+
+} // namespace
+
+BENCHMARK_MAIN();

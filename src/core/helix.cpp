@@ -46,6 +46,18 @@ Deployment::plannedThroughput() const
 }
 
 const char *
+toString(ArrivalKind kind)
+{
+    switch (kind) {
+      case ArrivalKind::Auto:    return "auto";
+      case ArrivalKind::Poisson: return "poisson";
+      case ArrivalKind::Diurnal: return "diurnal";
+      case ArrivalKind::Bursty:  return "bursty";
+    }
+    return "?";
+}
+
+const char *
 toString(SchedulerKind kind)
 {
     switch (kind) {
@@ -108,9 +120,30 @@ makeTrace(const Deployment &deployment, const RunConfig &config)
     double duration =
         (config.warmupSeconds + config.measureSeconds) * 1.02;
     trace::TraceGenerator generator(config.seed, config.lengths);
-    if (config.online) {
+    ArrivalKind kind = config.arrivals;
+    if (kind == ArrivalKind::Auto)
+        kind = config.online ? ArrivalKind::Diurnal
+                             : ArrivalKind::Poisson;
+    switch (kind) {
+      case ArrivalKind::Diurnal: {
         trace::DiurnalArrivals arrivals(rate, 0.25, 1800.0);
         return generator.generate(duration, arrivals);
+      }
+      case ArrivalKind::Bursty: {
+        // Solve for the base rate so the MMPP's long-run mean equals
+        // the configured rate.
+        double burst_frac =
+            config.burstMeanS / (config.burstMeanS + config.burstGapS);
+        double base = rate / (1.0 + burst_frac *
+                                        (config.burstMultiplier - 1.0));
+        trace::BurstyArrivals arrivals(base, config.burstMultiplier,
+                                       config.burstMeanS,
+                                       config.burstGapS);
+        return generator.generate(duration, arrivals);
+      }
+      case ArrivalKind::Auto:
+      case ArrivalKind::Poisson:
+        break;
     }
     trace::PoissonArrivals arrivals(rate);
     return generator.generate(duration, arrivals);
@@ -125,6 +158,8 @@ runExperiment(const Deployment &deployment,
     sim_config.warmupSeconds = config.warmupSeconds;
     sim_config.measureSeconds = config.measureSeconds;
     sim_config.collectLinkStats = config.collectLinkStats;
+    sim_config.failNodeIndex = config.failNodeIndex;
+    sim_config.failAtSeconds = config.failAtSeconds;
     sim::ClusterSimulator simulator(
         deployment.clusterSpec(), deployment.profiler(),
         deployment.placement(), scheduler, sim_config);

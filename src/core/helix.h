@@ -92,6 +92,20 @@ std::unique_ptr<scheduler::RequestScheduler> makeScheduler(
     const Deployment &deployment, SchedulerKind kind,
     scheduler::SchedulerConfig config = {});
 
+/** Arrival process shaping the generated trace. */
+enum class ArrivalKind
+{
+    /** Derived from `online`: Diurnal when online, else Poisson. */
+    Auto,
+    Poisson,
+    Diurnal,
+    /** Markov-modulated Poisson bursts (trace::BurstyArrivals). */
+    Bursty,
+};
+
+/** Human-readable name of an ArrivalKind. */
+const char *toString(ArrivalKind kind);
+
 /** End-to-end experiment configuration. */
 struct RunConfig
 {
@@ -116,6 +130,20 @@ struct RunConfig
     uint64_t seed = 42;
     bool collectLinkStats = false;
     trace::LengthModel lengths;
+    /** Arrival process; Auto preserves the historical online/offline
+     *  mapping (diurnal when online, Poisson otherwise). */
+    ArrivalKind arrivals = ArrivalKind::Auto;
+    /** Bursty-arrival parameters (ArrivalKind::Bursty): rate
+     *  multiplier during a burst, mean burst and gap durations. The
+     *  base rate is derived so the long-run mean matches the
+     *  configured rate. */
+    double burstMultiplier = 5.0;
+    double burstMeanS = 30.0;
+    double burstGapS = 270.0;
+    /** Node-churn scenario forwarded to sim::SimConfig: node
+     *  failNodeIndex fails at failAtSeconds. Negative = disabled. */
+    int failNodeIndex = -1;
+    double failAtSeconds = -1.0;
 };
 
 /**

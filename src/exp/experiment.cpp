@@ -1,0 +1,469 @@
+#include "exp/experiment.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace helix {
+namespace exp {
+
+RunConfig
+Scenario::toRun(double warmup_s, double measure_s,
+                uint64_t seed) const
+{
+    RunConfig run;
+    run.online = online;
+    run.utilization = utilization;
+    run.warmupSeconds = warmup_s;
+    run.measureSeconds = measure_s;
+    run.seed = seed;
+    run.arrivals = arrivals;
+    run.burstMultiplier = burstMultiplier;
+    run.burstMeanS = burstMeanS;
+    run.burstGapS = burstGapS;
+    run.failNodeIndex = failNodeIndex;
+    if (failNodeIndex >= 0 && failAtFraction >= 0.0)
+        run.failAtSeconds = failAtFraction * (warmup_s + measure_s);
+    return run;
+}
+
+namespace scenarios {
+
+Scenario
+offline()
+{
+    Scenario s;
+    s.name = "offline";
+    return s;
+}
+
+Scenario
+onlineDiurnal()
+{
+    Scenario s;
+    s.name = "online-diurnal";
+    s.online = true;
+    return s;
+}
+
+Scenario
+bursty(double burst_multiplier, double mean_burst_s,
+       double mean_gap_s)
+{
+    Scenario s;
+    s.name = "bursty";
+    s.online = true;
+    s.arrivals = ArrivalKind::Bursty;
+    s.burstMultiplier = burst_multiplier;
+    s.burstMeanS = mean_burst_s;
+    s.burstGapS = mean_gap_s;
+    return s;
+}
+
+Scenario
+nodeChurn(int node, double at_fraction, bool online_mode)
+{
+    Scenario s;
+    s.name = "node-churn";
+    s.online = online_mode;
+    s.failNodeIndex = node;
+    s.failAtFraction = at_fraction;
+    return s;
+}
+
+std::vector<Scenario>
+all()
+{
+    return {offline(), onlineDiurnal(), bursty(), nodeChurn(0)};
+}
+
+} // namespace scenarios
+
+ExperimentRunner::ExperimentRunner(RunnerOptions options)
+    : opts(options)
+{
+}
+
+std::vector<JobResult>
+ExperimentRunner::run(const std::vector<Job> &jobs) const
+{
+    std::vector<JobResult> results(jobs.size());
+    if (jobs.empty())
+        return results;
+
+    int hw = static_cast<int>(std::thread::hardware_concurrency());
+    int workers = opts.numThreads > 0 ? opts.numThreads
+                                      : std::max(1, hw);
+    workers = std::min<int>(workers, static_cast<int>(jobs.size()));
+
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            size_t i = next.fetch_add(1);
+            if (i >= jobs.size())
+                return;
+            const Job &job = jobs[i];
+            HELIX_ASSERT(job.deployment != nullptr);
+            JobResult &out = results[i];
+            out.label = job.label;
+            out.cluster = job.deployment->clusterSpec().summary();
+            out.model = job.deployment->modelSpec().name;
+            out.planner = job.deployment->plannerName();
+            out.scheduler = toString(job.scheduler);
+            out.arrivals = toString(job.run.arrivals);
+            out.plannedThroughput = job.deployment->plannedThroughput();
+            auto t0 = std::chrono::steady_clock::now();
+            auto sched = makeScheduler(*job.deployment, job.scheduler,
+                                       job.schedulerConfig);
+            out.metrics =
+                runExperiment(*job.deployment, *sched, job.run);
+            auto t1 = std::chrono::steady_clock::now();
+            out.wallSeconds =
+                std::chrono::duration<double>(t1 - t0).count();
+        }
+    };
+
+    if (workers == 1) {
+        worker();
+        return results;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (int w = 0; w < workers; ++w)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    return results;
+}
+
+std::vector<JobResult>
+runSweep(const SweepConfig &sweep, RunnerOptions options)
+{
+    // Plan each (cluster, model, planner) deployment once; all its
+    // jobs share it const.
+    std::vector<std::unique_ptr<Deployment>> deployments;
+    std::vector<Job> jobs;
+    for (const std::string &cluster_name : sweep.clusters) {
+        auto clus = clusterByName(cluster_name);
+        if (!clus) {
+            HELIX_WARN("unknown cluster '%s'; skipping",
+                       cluster_name.c_str());
+            continue;
+        }
+        for (const std::string &model_name : sweep.models) {
+            auto model_spec = modelByName(model_name);
+            if (!model_spec) {
+                HELIX_WARN("unknown model '%s'; skipping",
+                           model_name.c_str());
+                continue;
+            }
+            for (const std::string &planner_name : sweep.planners) {
+                auto planner = plannerByName(planner_name,
+                                             sweep.plannerBudgetS);
+                if (!planner) {
+                    HELIX_WARN("unknown planner '%s'; skipping",
+                               planner_name.c_str());
+                    continue;
+                }
+                deployments.push_back(std::make_unique<Deployment>(
+                    *clus, *model_spec, *planner));
+                const Deployment *dep = deployments.back().get();
+                for (const std::string &sched_name :
+                     sweep.schedulers) {
+                    auto kind = schedulerKindByName(sched_name);
+                    if (!kind) {
+                        HELIX_WARN("unknown scheduler '%s'; skipping",
+                                   sched_name.c_str());
+                        continue;
+                    }
+                    for (const Scenario &scenario : sweep.scenarios) {
+                        Job job;
+                        job.label = cluster_name + "/" + model_name +
+                                    "/" + planner_name + "/" +
+                                    sched_name + "/" + scenario.name;
+                        job.deployment = dep;
+                        job.scheduler = *kind;
+                        job.run = scenario.toRun(sweep.warmupSeconds,
+                                                 sweep.measureSeconds,
+                                                 sweep.seed);
+                        jobs.push_back(std::move(job));
+                    }
+                }
+            }
+        }
+    }
+    ExperimentRunner runner(options);
+    return runner.run(jobs);
+}
+
+namespace {
+
+/** JSON string escaping, including \uXXXX for control characters. */
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+std::string
+num(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+/** The flat metric columns shared by the JSON and CSV emitters. */
+struct MetricColumn
+{
+    const char *name;
+    double (*get)(const JobResult &);
+};
+
+const MetricColumn kColumns[] = {
+    {"planned_throughput",
+     [](const JobResult &r) { return r.plannedThroughput; }},
+    {"decode_throughput",
+     [](const JobResult &r) { return r.metrics.decodeThroughput; }},
+    {"prompt_throughput",
+     [](const JobResult &r) { return r.metrics.promptThroughput; }},
+    {"prompt_latency_mean",
+     [](const JobResult &r) { return r.metrics.promptLatency.mean(); }},
+    {"prompt_latency_p50",
+     [](const JobResult &r) {
+         return r.metrics.promptLatency.percentile(50);
+     }},
+    {"prompt_latency_p95",
+     [](const JobResult &r) {
+         return r.metrics.promptLatency.percentile(95);
+     }},
+    {"prompt_latency_p99",
+     [](const JobResult &r) {
+         return r.metrics.promptLatency.percentile(99);
+     }},
+    {"decode_latency_mean",
+     [](const JobResult &r) { return r.metrics.decodeLatency.mean(); }},
+    {"decode_latency_p50",
+     [](const JobResult &r) {
+         return r.metrics.decodeLatency.percentile(50);
+     }},
+    {"decode_latency_p95",
+     [](const JobResult &r) {
+         return r.metrics.decodeLatency.percentile(95);
+     }},
+    {"decode_latency_p99",
+     [](const JobResult &r) {
+         return r.metrics.decodeLatency.percentile(99);
+     }},
+    {"requests_arrived",
+     [](const JobResult &r) {
+         return static_cast<double>(r.metrics.requestsArrived);
+     }},
+    {"requests_admitted",
+     [](const JobResult &r) {
+         return static_cast<double>(r.metrics.requestsAdmitted);
+     }},
+    {"requests_completed",
+     [](const JobResult &r) {
+         return static_cast<double>(r.metrics.requestsCompleted);
+     }},
+    {"requests_rejected",
+     [](const JobResult &r) {
+         return static_cast<double>(r.metrics.requestsRejected);
+     }},
+    {"requests_restarted",
+     [](const JobResult &r) {
+         return static_cast<double>(r.metrics.requestsRestarted);
+     }},
+    {"avg_kv_utilization",
+     [](const JobResult &r) { return r.metrics.avgKvUtilization; }},
+    {"wall_seconds",
+     [](const JobResult &r) { return r.wallSeconds; }},
+};
+
+/** The string columns, mirroring the MetricColumn table. */
+struct StringColumn
+{
+    const char *name;
+    const std::string &(*get)(const JobResult &);
+};
+
+const StringColumn kStringColumns[] = {
+    {"label",
+     [](const JobResult &r) -> const std::string & { return r.label; }},
+    {"cluster",
+     [](const JobResult &r) -> const std::string & {
+         return r.cluster;
+     }},
+    {"model",
+     [](const JobResult &r) -> const std::string & { return r.model; }},
+    {"planner",
+     [](const JobResult &r) -> const std::string & {
+         return r.planner;
+     }},
+    {"scheduler",
+     [](const JobResult &r) -> const std::string & {
+         return r.scheduler;
+     }},
+    {"arrivals",
+     [](const JobResult &r) -> const std::string & {
+         return r.arrivals;
+     }},
+};
+
+} // namespace
+
+std::string
+resultsToJson(const std::vector<JobResult> &results)
+{
+    std::ostringstream out;
+    out << "[\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const JobResult &r = results[i];
+        out << "  {";
+        bool first = true;
+        for (const StringColumn &col : kStringColumns) {
+            out << (first ? "" : ", ") << '"' << col.name
+                << "\": \"" << jsonEscape(col.get(r)) << '"';
+            first = false;
+        }
+        for (const MetricColumn &col : kColumns)
+            out << ", \"" << col.name << "\": " << num(col.get(r));
+        out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    return out.str();
+}
+
+std::string
+resultsToCsv(const std::vector<JobResult> &results)
+{
+    std::ostringstream out;
+    bool first = true;
+    for (const StringColumn &col : kStringColumns) {
+        out << (first ? "" : ",") << col.name;
+        first = false;
+    }
+    for (const MetricColumn &col : kColumns)
+        out << ',' << col.name;
+    out << '\n';
+    for (const JobResult &r : results) {
+        first = true;
+        for (const StringColumn &col : kStringColumns) {
+            if (!first)
+                out << ',';
+            first = false;
+            // Quote string fields (cluster summaries contain commas)
+            // and double embedded quotes per RFC 4180.
+            out << '"';
+            for (char c : col.get(r)) {
+                if (c == '"')
+                    out << '"';
+                out << c;
+            }
+            out << '"';
+        }
+        for (const MetricColumn &col : kColumns)
+            out << ',' << num(col.get(r));
+        out << '\n';
+    }
+    return out.str();
+}
+
+std::optional<cluster::ClusterSpec>
+clusterByName(const std::string &name)
+{
+    if (name == "single24")
+        return cluster::setups::singleCluster24();
+    if (name == "geo24")
+        return cluster::setups::geoDistributed24();
+    if (name == "hetero42")
+        return cluster::setups::highHeterogeneity42();
+    if (name == "planner10")
+        return cluster::setups::plannerCluster10();
+    return std::nullopt;
+}
+
+std::optional<model::TransformerSpec>
+modelByName(const std::string &name)
+{
+    if (name == "llama30b")
+        return model::catalog::llama30b();
+    if (name == "llama70b")
+        return model::catalog::llama70b();
+    if (name == "gpt3-175b")
+        return model::catalog::gpt3_175b();
+    if (name == "grok1-314b")
+        return model::catalog::grok1_314b();
+    if (name == "llama3-405b")
+        return model::catalog::llama3_405b();
+    return std::nullopt;
+}
+
+std::unique_ptr<placement::Planner>
+plannerByName(const std::string &name, double planner_budget_s)
+{
+    if (name == "helix") {
+        placement::HelixPlannerConfig config;
+        config.timeBudgetSeconds = planner_budget_s;
+        return std::make_unique<placement::HelixPlanner>(config);
+    }
+    if (name == "swarm")
+        return std::make_unique<placement::SwarmPlanner>();
+    if (name == "petals")
+        return std::make_unique<placement::PetalsPlanner>();
+    if (name == "sp")
+        return std::make_unique<placement::SeparatePipelinesPlanner>(
+            false);
+    if (name == "sp+")
+        return std::make_unique<placement::SeparatePipelinesPlanner>(
+            true);
+    if (name == "uniform")
+        return std::make_unique<placement::UniformPlanner>();
+    return nullptr;
+}
+
+std::optional<SchedulerKind>
+schedulerKindByName(const std::string &name)
+{
+    if (name == "helix")
+        return SchedulerKind::Helix;
+    if (name == "swarm")
+        return SchedulerKind::Swarm;
+    if (name == "random")
+        return SchedulerKind::Random;
+    if (name == "shortest-queue")
+        return SchedulerKind::ShortestQueue;
+    if (name == "fixed-rr")
+        return SchedulerKind::FixedRoundRobin;
+    return std::nullopt;
+}
+
+} // namespace exp
+} // namespace helix

@@ -150,11 +150,10 @@ std::optional<Pipeline>
 HelixScheduler::schedule(const trace::Request &request,
                          const SchedulerContext &ctx)
 {
-    (void)ctx;
     // A single walk can dead-end mid-path while another first hop
     // would succeed; retry a few times before reporting congestion.
     for (int attempt = 0; attempt < 4; ++attempt) {
-        auto pipeline = tryWalk(request);
+        auto pipeline = tryWalk(request, ctx);
         if (pipeline)
             return pipeline;
     }
@@ -162,7 +161,8 @@ HelixScheduler::schedule(const trace::Request &request,
 }
 
 std::optional<Pipeline>
-HelixScheduler::tryWalk(const trace::Request &request)
+HelixScheduler::tryWalk(const trace::Request &request,
+                        const SchedulerContext &ctx)
 {
     Pipeline pipeline;
     int vertex = cluster::kCoordinator;
@@ -176,7 +176,8 @@ HelixScheduler::tryWalk(const trace::Request &request)
         bool any = false;
         for (size_t c = 0; c < selector.size(); ++c) {
             const auto &edge = out[selector.candidates()[c]];
-            if (edge.to == Topology::kSink) {
+            if (edge.to == Topology::kSink ||
+                !ctx.nodeAlive(edge.to)) {
                 masked[c] = true;
                 continue;
             }
@@ -246,10 +247,11 @@ WalkScheduler::schedule(const trace::Request &request,
     int at = 0;
     while (at < topo.numLayers()) {
         const auto &out = topo.outEdges(vertex);
-        // Collect compute-node candidates (skip the sink edge).
+        // Collect live compute-node candidates (skip the sink edge).
         std::vector<int> candidates;
         for (size_t e = 0; e < out.size(); ++e) {
-            if (out[e].to != Topology::kSink)
+            if (out[e].to != Topology::kSink &&
+                ctx.nodeAlive(out[e].to))
                 candidates.push_back(static_cast<int>(e));
         }
         if (candidates.empty())
@@ -308,16 +310,17 @@ std::optional<Pipeline>
 FixedPipelineScheduler::schedule(const trace::Request &request,
                                  const SchedulerContext &ctx)
 {
-    (void)ctx;
     if (fixed.empty())
         return std::nullopt;
-    // Round-robin, skipping pipelines that fail KV admission.
+    // Round-robin, skipping pipelines that fail KV admission or that
+    // route through a dead node.
     for (size_t attempt = 0; attempt < fixed.size(); ++attempt) {
         const Pipeline &candidate =
             fixed[(nextIndex + attempt) % fixed.size()];
         bool ok = true;
         for (const PipelineStage &stage : candidate) {
-            if (!kv.admits(stage.node,
+            if (!ctx.nodeAlive(stage.node) ||
+                !kv.admits(stage.node,
                            kv.requestBytes(request, stage))) {
                 ok = false;
                 break;

@@ -61,6 +61,17 @@ class SchedulerContext
 
     /** Actual KV-cache bytes in use at @p node. */
     virtual double kvUsedBytes(int node) const = 0;
+
+    /**
+     * Whether @p node is alive. The simulator's churn scenario marks
+     * failed nodes dead; schedulers must not route through them.
+     */
+    virtual bool
+    nodeAlive(int node) const
+    {
+        (void)node;
+        return true;
+    }
 };
 
 /** Interface implemented by all request schedulers. */
@@ -216,7 +227,8 @@ class HelixScheduler : public RequestScheduler
 
   private:
     /** One IWRR walk attempt; nullopt when it dead-ends. */
-    std::optional<Pipeline> tryWalk(const trace::Request &request);
+    std::optional<Pipeline> tryWalk(const trace::Request &request,
+                                    const SchedulerContext &ctx);
 
     const Topology &topo;
     SchedulerConfig cfg;

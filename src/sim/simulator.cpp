@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/logging.h"
 
@@ -24,6 +25,8 @@ ClusterSimulator::ClusterSimulator(
                 ? static_cast<double>(profiler.kvCapacityBytes(
                       cluster_spec.node(i), placement_spec[i].count))
                 : 0.0;
+        nodes[i].running.reserve(
+            static_cast<size_t>(std::max(1, cfg.maxBatchRequests)));
     }
     if (cfg.maxActiveRequests == 0) {
         // Derive the engine-level concurrency bound from aggregate KV
@@ -50,6 +53,9 @@ ClusterSimulator::ClusterSimulator(
             LinkState &ls = linkState(from, to);
             ls.stat.from = from;
             ls.stat.to = to;
+            const cluster::LinkSpec &spec = cluster_spec.link(from, to);
+            ls.bytesPerSecond = spec.bytesPerSecond();
+            ls.latencyS = spec.latencyS;
         }
     }
 }
@@ -61,10 +67,12 @@ ClusterSimulator::linkState(int from, int to)
 }
 
 void
-ClusterSimulator::schedule(double when, Callback fn)
+ClusterSimulator::scheduleEvent(double when, Event event)
 {
     HELIX_ASSERT(when >= now);
-    events.push({when, eventSeq++, std::move(fn)});
+    event.time = when;
+    event.seq = eventSeq++;
+    events.push(event);
 }
 
 bool
@@ -98,6 +106,12 @@ ClusterSimulator::kvUsedBytes(int node) const
     return nodes[node].kvUsed;
 }
 
+bool
+ClusterSimulator::nodeAlive(int node) const
+{
+    return !nodes[node].dead;
+}
+
 void
 ClusterSimulator::tryAdmit()
 {
@@ -118,14 +132,14 @@ ClusterSimulator::tryAdmit()
             // avoid blocking the queue forever.
             bool idle = true;
             for (const NodeState &node : nodes) {
-                if (node.busy || node.inFlight > 0) {
+                if (!node.dead && (node.busy || node.inFlight > 0)) {
                     idle = false;
                     break;
                 }
             }
-            long active = metrics.requestsAdmitted -
-                          metrics.requestsCompleted;
-            if (idle && active <= 0) {
+            long still_active = metrics.requestsAdmitted -
+                                metrics.requestsCompleted;
+            if (idle && still_active <= 0) {
                 ++metrics.requestsRejected;
                 pending.pop_front();
                 continue;
@@ -136,6 +150,7 @@ ClusterSimulator::tryAdmit()
             *pipeline, profiler.modelSpec().numLayers));
         pending.pop_front();
         rs.pipeline = std::move(*pipeline);
+        rs.kvWritten.assign(rs.pipeline.size(), 0.0);
         rs.admitted = true;
         ++metrics.requestsAdmitted;
         sched.onRequestAdmitted(rs.request, rs.pipeline);
@@ -144,19 +159,20 @@ ClusterSimulator::tryAdmit()
         int first_node = rs.pipeline.front().node;
         double bytes = static_cast<double>(rs.request.promptLen) *
                        profiler.tokenBytes();
-        WorkItem item{idx, 0, true, rs.request.promptLen};
-        sendMessage(cluster::kCoordinator, first_node, bytes,
-                    [this, first_node, item] {
-                        enqueueWork(first_node, item);
-                    });
+        Event ev;
+        ev.kind = Event::Kind::WorkDelivery;
+        ev.node = first_node;
+        ev.item = WorkItem{idx, 0, rs.request.promptLen, rs.epoch,
+                           true, true};
+        scheduleEvent(
+            transferDelivery(cluster::kCoordinator, first_node, bytes),
+            ev);
     }
 }
 
-void
-ClusterSimulator::sendMessage(int from, int to, double bytes,
-                              Callback on_arrival)
+double
+ClusterSimulator::transferDelivery(int from, int to, double bytes)
 {
-    const cluster::LinkSpec &spec = clusterRef.link(from, to);
     LinkState &ls = linkState(from, to);
     // Interactive messages (single-token activations, output tokens)
     // ride a priority channel so they do not serialize behind bulk
@@ -166,10 +182,10 @@ ClusterSimulator::sendMessage(int from, int to, double bytes,
     double &busy_until =
         bulk ? ls.bulkBusyUntil : ls.interactiveBusyUntil;
     double start = std::max(now, busy_until);
-    double tx = bytes / spec.bytesPerSecond();
+    double tx = bytes / ls.bytesPerSecond;
     busy_until = start + tx;
-    double queue_delay = start - now;
     if (cfg.collectLinkStats) {
+        double queue_delay = start - now;
         ++ls.stat.transfers;
         ls.stat.totalBytes += bytes;
         ls.stat.busySeconds += tx;
@@ -177,13 +193,15 @@ ClusterSimulator::sendMessage(int from, int to, double bytes,
             std::max(ls.stat.maxQueueDelayS, queue_delay);
         ls.stat.totalQueueDelayS += queue_delay;
     }
-    schedule(start + tx + spec.latencyS, std::move(on_arrival));
+    return start + tx + ls.latencyS;
 }
 
 void
-ClusterSimulator::enqueueWork(int node, WorkItem item)
+ClusterSimulator::enqueueWork(int node, const WorkItem &item)
 {
     NodeState &state = nodes[node];
+    if (state.dead || requests[item.request].epoch != item.epoch)
+        return; // Stale delivery from before a node failure.
     state.queue.push_back(item);
     ++state.inFlight;
     if (!state.busy)
@@ -196,6 +214,7 @@ ClusterSimulator::startBatch(int node)
     NodeState &state = nodes[node];
     HELIX_ASSERT(!state.busy);
     HELIX_ASSERT(!state.queue.empty());
+    HELIX_ASSERT(state.running.empty());
 
     // Best-effort dynamic batching with vLLM-style KV backpressure:
     // decode items always run; a prompt item joins the batch only if
@@ -204,8 +223,8 @@ ClusterSimulator::startBatch(int node)
     // accepted on an otherwise-empty node so oversized requests make
     // progress (with the swap penalty) instead of deadlocking.
     const model::TransformerSpec &spec = profiler.modelSpec();
-    std::vector<WorkItem> batch;
-    std::deque<WorkItem> deferred;
+    std::vector<WorkItem> &batch = state.running;
+    deferredScratch.clear();
     double reserved = 0.0;
     int token_budget = cfg.maxBatchTokens;
     while (!state.queue.empty() && token_budget > 0 &&
@@ -228,7 +247,7 @@ ClusterSimulator::startBatch(int node)
                 if (!node_empty &&
                     state.kvUsed + reserved + need >
                         state.kvCapacity) {
-                    deferred.push_back(item);
+                    deferredScratch.push_back(item);
                     continue;
                 }
                 reserved += need;
@@ -253,10 +272,8 @@ ClusterSimulator::startBatch(int node)
     }
     // Put deferred prompts back at the front, preserving arrival
     // order (ahead of any split remainder they preceded).
-    while (!deferred.empty()) {
-        state.queue.push_front(deferred.back());
-        deferred.pop_back();
-    }
+    for (size_t i = deferredScratch.size(); i > 0; --i)
+        state.queue.push_front(deferredScratch[i - 1]);
     if (batch.empty())
         return; // All queued prompts are waiting for KV pages.
     state.busy = true;
@@ -304,32 +321,50 @@ ClusterSimulator::startBatch(int node)
         ++state.utilSamples;
     }
 
-    schedule(now + batch_s,
-             [this, node, items = std::move(batch), batch_s]() mutable {
-                 finishBatch(node, std::move(items), batch_s);
-             });
+    Event ev;
+    ev.kind = Event::Kind::BatchDone;
+    ev.node = node;
+    ev.batchSeconds = batch_s;
+    scheduleEvent(now + batch_s, ev);
 }
 
 void
-ClusterSimulator::finishBatch(int node, std::vector<WorkItem> items,
-                              double batch_seconds)
+ClusterSimulator::finishBatch(int node, double batch_seconds)
 {
     NodeState &state = nodes[node];
     state.busy = false;
+    if (state.dead) {
+        // The node failed while this batch was in flight; its work
+        // was already restarted elsewhere.
+        state.running.clear();
+        return;
+    }
 
     const model::TransformerSpec &spec = profiler.modelSpec();
     long tokens_processed = 0;
-    for (const WorkItem &item : items) {
+    long items_processed = 0;
+    for (const WorkItem &item : state.running) {
         RequestState &rs = requests[item.request];
+        if (rs.epoch != item.epoch) {
+            // The request was restarted (node churn) while this item
+            // ran. Its KV on this node was already released; only the
+            // in-flight counter still holds its slot.
+            if (item.finalChunk)
+                --state.inFlight;
+            continue;
+        }
         const scheduler::PipelineStage &stage =
             rs.pipeline[item.stage];
         tokens_processed += item.numTokens;
+        ++items_processed;
 
         // KV written by this stage: the processed prompt chunk during
         // the prompt phase, one token per decode iteration.
-        state.kvUsed += static_cast<double>(item.numTokens) *
-                        spec.kvBytesPerTokenPerLayer() *
-                        stage.numLayers();
+        double kv_delta = static_cast<double>(item.numTokens) *
+                          spec.kvBytesPerTokenPerLayer() *
+                          stage.numLayers();
+        state.kvUsed += kv_delta;
+        rs.kvWritten[item.stage] += kv_delta;
 
         if (!item.finalChunk) {
             // Intermediate prefill chunk: the request stays at this
@@ -341,10 +376,13 @@ ClusterSimulator::finishBatch(int node, std::vector<WorkItem> items,
         bool last_stage =
             item.stage + 1 == static_cast<int>(rs.pipeline.size());
         if (last_stage) {
-            int req = item.request;
-            sendMessage(node, cluster::kCoordinator,
-                        profiler.tokenBytes(),
-                        [this, req] { onTokenAtCoordinator(req); });
+            Event ev;
+            ev.kind = Event::Kind::TokenDelivery;
+            ev.item.request = item.request;
+            ev.item.epoch = item.epoch;
+            scheduleEvent(transferDelivery(node, cluster::kCoordinator,
+                                           profiler.tokenBytes()),
+                          ev);
         } else {
             const scheduler::PipelineStage &next =
                 rs.pipeline[item.stage + 1];
@@ -353,61 +391,96 @@ ClusterSimulator::finishBatch(int node, std::vector<WorkItem> items,
             // shipped together with the final one).
             int tokens = item.isPrompt ? rs.request.promptLen
                                        : item.numTokens;
-            WorkItem forwarded{item.request, item.stage + 1,
-                               item.isPrompt, tokens};
             double bytes = static_cast<double>(tokens) *
                            profiler.activationBytes();
-            int to = next.node;
-            sendMessage(node, to, bytes, [this, to, forwarded] {
-                enqueueWork(to, forwarded);
-            });
+            Event ev;
+            ev.kind = Event::Kind::WorkDelivery;
+            ev.node = next.node;
+            ev.item = WorkItem{item.request, item.stage + 1, tokens,
+                               item.epoch, item.isPrompt, true};
+            scheduleEvent(transferDelivery(node, next.node, bytes),
+                          ev);
         }
-        if (item.isPrompt && last_stage && inWindow(now))
-            metrics.promptTokensInWindow += rs.request.promptLen;
+        // Count a prompt completion once per request: a prompt rerun
+        // after node churn is recovery work, not new served tokens.
+        if (item.isPrompt && last_stage && !rs.promptCounted) {
+            rs.promptCounted = true;
+            if (inWindow(now))
+                metrics.promptTokensInWindow += rs.request.promptLen;
+        }
     }
+    state.running.clear();
     ++state.batches;
-    state.itemsProcessed += static_cast<long>(items.size());
+    state.itemsProcessed += items_processed;
     state.tokensProcessed += tokens_processed;
     state.busySeconds += batch_seconds;
 
-    // Exponentially weighted throughput estimate, consumed by the
-    // Swarm-style scheduler baseline.
+    // Duration-weighted exponential throughput estimate, consumed by
+    // the Swarm-style scheduler baseline: a batch of duration d
+    // carries weight 1 - exp(-d / tau), so the estimate tracks a
+    // fixed time horizon instead of a fixed batch count (which would
+    // bias toward nodes running many small batches).
     double rate =
         static_cast<double>(tokens_processed) / batch_seconds;
-    state.ewmaThroughput = 0.8 * state.ewmaThroughput + 0.2 * rate;
+    double alpha =
+        1.0 - std::exp(-batch_seconds /
+                       std::max(1e-9, cfg.throughputEwmaTauS));
+    state.ewmaThroughput += alpha * (rate - state.ewmaThroughput);
 
     if (!state.queue.empty())
         startBatch(node);
 }
 
 void
-ClusterSimulator::onTokenAtCoordinator(int request)
+ClusterSimulator::onTokenAtCoordinator(int request, uint32_t epoch)
 {
     RequestState &rs = requests[request];
+    if (rs.epoch != epoch)
+        return; // Token from a pipeline that was torn down by churn.
     ++rs.generated;
+    // After a churn restart the pipeline regenerates tokens it had
+    // already delivered; only tokens beyond the high-water mark are
+    // new output.
+    bool new_token = rs.generated > rs.peakGenerated;
+    if (new_token)
+        rs.peakGenerated = rs.generated;
     if (rs.firstTokenTime < 0.0) {
         rs.firstTokenTime = now;
-        if (inWindow(now)) {
+        // Mixed-window guard: only requests measured entirely inside
+        // the window contribute, i.e. the arrival must also be
+        // in-window — otherwise warmup queueing leaks into the
+        // latency distribution (requests that straddle the boundary
+        // carry arbitrarily long pre-window waits). Restarted
+        // requests are excluded: their first token was already
+        // sampled before the failure.
+        if (!rs.restartedEver && inWindow(now) &&
+            inWindow(rs.request.arrivalS)) {
             metrics.promptLatency.add(now - rs.request.arrivalS);
         }
-    } else if (inWindow(now)) {
+    } else if (new_token && inWindow(now)) {
         ++metrics.decodeTokensInWindow;
     }
 
     if (rs.generated >= rs.request.outputLen) {
-        // Request complete: release KV on every stage.
+        // Request complete: release exactly the KV it wrote at every
+        // stage.
         rs.finishTime = now;
+        rs.finished = true;
         ++metrics.requestsCompleted;
-        const model::TransformerSpec &spec = profiler.modelSpec();
-        for (const scheduler::PipelineStage &stage : rs.pipeline) {
-            double bytes = contextLen(rs) *
-                           spec.kvBytesPerTokenPerLayer() *
-                           stage.numLayers();
-            nodes[stage.node].kvUsed =
-                std::max(0.0, nodes[stage.node].kvUsed - bytes);
+        for (size_t s = 0; s < rs.pipeline.size(); ++s) {
+            NodeState &state = nodes[rs.pipeline[s].node];
+            state.kvUsed =
+                std::max(0.0, state.kvUsed - rs.kvWritten[s]);
+            rs.kvWritten[s] = 0.0;
         }
         sched.onRequestFinished(rs.request, rs.pipeline);
-        if (rs.request.outputLen > 1 && inWindow(rs.finishTime)) {
+        // Same mixed-window guard as prompt latency: the decode
+        // interval is [firstToken, finish]; both ends must be
+        // in-window for the sample to be entirely measured.
+        // Restarted requests are excluded — their interval spans the
+        // failure and recovery, not steady-state decode.
+        if (!rs.restartedEver && rs.request.outputLen > 1 &&
+            inWindow(rs.finishTime) && inWindow(rs.firstTokenTime)) {
             metrics.decodeLatency.add(
                 (rs.finishTime - rs.firstTokenTime) /
                 (rs.request.outputLen - 1));
@@ -415,7 +488,7 @@ ClusterSimulator::onTokenAtCoordinator(int request)
         // Freed KV pages may unblock prompts waiting at these nodes.
         for (const scheduler::PipelineStage &stage : rs.pipeline) {
             NodeState &state = nodes[stage.node];
-            if (!state.busy && !state.queue.empty())
+            if (!state.dead && !state.busy && !state.queue.empty())
                 startBatch(stage.node);
         }
         tryAdmit();
@@ -425,11 +498,108 @@ ClusterSimulator::onTokenAtCoordinator(int request)
     // Schedule the next decode iteration over the same pipeline: the
     // coordinator sends the newly sampled token to the first stage.
     int first_node = rs.pipeline.front().node;
-    WorkItem item{request, 0, false, 1};
-    sendMessage(cluster::kCoordinator, first_node,
-                profiler.tokenBytes(), [this, first_node, item] {
-                    enqueueWork(first_node, item);
-                });
+    Event ev;
+    ev.kind = Event::Kind::WorkDelivery;
+    ev.node = first_node;
+    ev.item = WorkItem{request, 0, 1, rs.epoch, false, true};
+    scheduleEvent(transferDelivery(cluster::kCoordinator, first_node,
+                                   profiler.tokenBytes()),
+                  ev);
+}
+
+void
+ClusterSimulator::onNodeFailure(int node)
+{
+    NodeState &failed = nodes[node];
+    if (failed.dead)
+        return;
+    failed.dead = true;
+    failed.queue.clear();
+    failed.inFlight = 0;
+    failed.kvUsed = 0.0;
+    // Note: if a batch is running on the failed node, its BatchDone
+    // event still fires; finishBatch discards it via the dead flag.
+
+    // Restart every admitted, unfinished request whose pipeline
+    // crosses the failed node: release exactly the KV it wrote at
+    // each surviving stage, invalidate its in-flight work via the
+    // epoch, and re-queue it for admission (ahead of never-admitted
+    // arrivals).
+    std::vector<int> restarted;
+    for (size_t i = 0; i < requests.size(); ++i) {
+        RequestState &rs = requests[i];
+        if (!rs.admitted || rs.finished)
+            continue;
+        bool affected = false;
+        for (const scheduler::PipelineStage &stage : rs.pipeline) {
+            if (stage.node == node) {
+                affected = true;
+                break;
+            }
+        }
+        if (!affected)
+            continue;
+        for (size_t s = 0; s < rs.pipeline.size(); ++s) {
+            if (rs.pipeline[s].node == node)
+                continue;
+            NodeState &state = nodes[rs.pipeline[s].node];
+            state.kvUsed =
+                std::max(0.0, state.kvUsed - rs.kvWritten[s]);
+        }
+        sched.onRequestFinished(rs.request, rs.pipeline);
+        rs.admitted = false;
+        rs.restartedEver = true;
+        rs.generated = 0;
+        rs.firstTokenTime = -1.0;
+        ++rs.epoch;
+        --metrics.requestsAdmitted; // It will be admitted again.
+        ++metrics.requestsRestarted;
+        restarted.push_back(static_cast<int>(i));
+    }
+    for (auto it = restarted.rbegin(); it != restarted.rend(); ++it)
+        pending.push_front(*it);
+
+    // Purge work of restarted requests still queued at live nodes.
+    for (NodeState &state : nodes) {
+        if (state.dead || state.queue.empty())
+            continue;
+        size_t before = state.queue.size();
+        state.queue.erase(
+            std::remove_if(state.queue.begin(), state.queue.end(),
+                           [this](const WorkItem &item) {
+                               return requests[item.request].epoch !=
+                                      item.epoch;
+                           }),
+            state.queue.end());
+        state.inFlight -=
+            static_cast<int>(before - state.queue.size());
+        HELIX_ASSERT(state.inFlight >= 0);
+    }
+    tryAdmit();
+}
+
+void
+ClusterSimulator::dispatch(const Event &event)
+{
+    switch (event.kind) {
+      case Event::Kind::Arrival:
+        ++metrics.requestsArrived;
+        pending.push_back(event.item.request);
+        tryAdmit();
+        break;
+      case Event::Kind::WorkDelivery:
+        enqueueWork(event.node, event.item);
+        break;
+      case Event::Kind::TokenDelivery:
+        onTokenAtCoordinator(event.item.request, event.item.epoch);
+        break;
+      case Event::Kind::BatchDone:
+        finishBatch(event.node, event.batchSeconds);
+        break;
+      case Event::Kind::NodeFailure:
+        onNodeFailure(event.node);
+        break;
+    }
 }
 
 SimMetrics
@@ -446,23 +616,28 @@ ClusterSimulator::run(const std::vector<trace::Request> &request_list)
 
     for (size_t i = 0; i < requests.size(); ++i) {
         double at = requests[i].request.arrivalS;
-        int idx = static_cast<int>(i);
-        schedule(std::max(at, 0.0), [this, idx] {
-            ++metrics.requestsArrived;
-            pending.push_back(idx);
-            tryAdmit();
-        });
+        Event ev;
+        ev.kind = Event::Kind::Arrival;
+        ev.item.request = static_cast<int>(i);
+        scheduleEvent(std::max(at, 0.0), ev);
+    }
+    if (cfg.failNodeIndex >= 0 &&
+        cfg.failNodeIndex < static_cast<int>(nodes.size()) &&
+        cfg.failAtSeconds >= 0.0) {
+        Event ev;
+        ev.kind = Event::Kind::NodeFailure;
+        ev.node = cfg.failNodeIndex;
+        scheduleEvent(cfg.failAtSeconds, ev);
     }
 
     const double end_time = cfg.warmupSeconds + cfg.measureSeconds;
     while (!events.empty()) {
-        const Event &top = events.top();
+        Event top = events.top();
         if (top.time > end_time)
             break;
-        now = top.time;
-        Callback fn = std::move(const_cast<Event &>(top).fn);
         events.pop();
-        fn();
+        now = top.time;
+        dispatch(top);
     }
     // Drain the queue so a reused simulator starts clean.
     while (!events.empty())

@@ -18,7 +18,13 @@
  *    the scheduling case study (Sec. 6.7);
  *  - the coordinator loop: per-request pipelines, one round trip per
  *    generated token, admission retry when the scheduler masks all
- *    candidates.
+ *    candidates;
+ *  - optional node failure mid-run (churn): the failed node's work is
+ *    dropped and every affected request is rescheduled around it.
+ *
+ * The event queue holds small trivially-copyable tagged-union events
+ * (no std::function, no per-event heap allocation); batch vectors are
+ * owned by the node states and reused across iterations.
  */
 
 #ifndef HELIX_SIM_SIMULATOR_H
@@ -26,7 +32,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <queue>
 #include <vector>
 
@@ -68,6 +73,22 @@ struct SimConfig
      * unlimited.
      */
     int maxActiveRequests = 0;
+    /**
+     * Node-churn scenario: node @p failNodeIndex fails (permanently)
+     * at @p failAtSeconds. Its queued and in-flight work is dropped,
+     * affected requests restart from the prompt through the scheduler,
+     * and schedulers see the node as dead (SchedulerContext::
+     * nodeAlive). Negative values disable the scenario.
+     */
+    int failNodeIndex = -1;
+    double failAtSeconds = -1.0;
+    /**
+     * Time constant (seconds) of the per-node throughput EWMA exposed
+     * to schedulers: a batch of duration d carries weight
+     * 1 - exp(-d / tau), so many small batches and one long batch of
+     * the same total duration influence the estimate equally.
+     */
+    double throughputEwmaTauS = 10.0;
 };
 
 /** Per-directed-link congestion statistics (Sec. 6.7 case study). */
@@ -89,14 +110,25 @@ struct SimMetrics
     double decodeThroughput = 0.0;
     /** Prompt tokens processed per second in the window. */
     double promptThroughput = 0.0;
-    /** Per-request prompt latency (arrival to first token), seconds. */
+    /**
+     * Per-request prompt latency (arrival to first token), seconds.
+     * Only requests whose arrival AND first token both fall inside the
+     * measurement window contribute, so warmup queueing cannot leak
+     * into the distribution.
+     */
     StatAccumulator promptLatency;
-    /** Per-request average seconds per decode token. */
+    /**
+     * Per-request average seconds per decode token. Only requests
+     * whose first token AND completion both fall inside the window
+     * contribute.
+     */
     StatAccumulator decodeLatency;
     long requestsArrived = 0;
     long requestsAdmitted = 0;
     long requestsCompleted = 0;
     long requestsRejected = 0;
+    /** Requests restarted because a node failed mid-run. */
+    long requestsRestarted = 0;
     long decodeTokensInWindow = 0;
     long promptTokensInWindow = 0;
     double simulatedSeconds = 0.0;
@@ -136,14 +168,21 @@ class ClusterSimulator : public scheduler::SchedulerContext
     int queueLength(int node) const override;
     double recentThroughput(int node) const override;
     double kvUsedBytes(int node) const override;
+    bool nodeAlive(int node) const override;
 
   private:
     struct WorkItem
     {
         int request = -1;
         int stage = 0;
-        bool isPrompt = false;
         int numTokens = 0;
+        /**
+         * Scheduling epoch of the request when the item was created.
+         * A node failure bumps the epoch of every affected request;
+         * stale items and messages are dropped when dequeued.
+         */
+        uint32_t epoch = 0;
+        bool isPrompt = false;
         /**
          * False for all but the last chunk of a chunked prefill; only
          * the final chunk forwards the request to the next stage.
@@ -151,10 +190,53 @@ class ClusterSimulator : public scheduler::SchedulerContext
         bool finalChunk = true;
     };
 
+    /**
+     * Tagged-union event. Trivially copyable and self-contained: the
+     * hot loop never allocates per event. BatchDone carries only the
+     * node; the batch items live in NodeState::running.
+     */
+    struct Event
+    {
+        enum class Kind : uint8_t
+        {
+            /** Request item.request arrives at the coordinator. */
+            Arrival,
+            /** Work item delivered to node's queue. */
+            WorkDelivery,
+            /** Output token of item.request reaches the coordinator. */
+            TokenDelivery,
+            /** The batch running on node completes. */
+            BatchDone,
+            /** Node fails (churn scenario). */
+            NodeFailure,
+        };
+
+        double time = 0.0;
+        uint64_t seq = 0;
+        double batchSeconds = 0.0; // BatchDone
+        WorkItem item;             // WorkDelivery / Arrival / Token
+        int node = 0;              // WorkDelivery / BatchDone / Failure
+        Kind kind = Kind::Arrival;
+    };
+
+    struct EventOrder
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.time != b.time)
+                return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
     struct NodeState
     {
         std::deque<WorkItem> queue;
+        /** Items of the batch currently running (reused storage). */
+        std::vector<WorkItem> running;
         bool busy = false;
+        bool dead = false;
         double kvUsed = 0.0;
         double kvCapacity = 0.0;
         int layersHeld = 0;
@@ -173,8 +255,25 @@ class ClusterSimulator : public scheduler::SchedulerContext
     {
         trace::Request request;
         scheduler::Pipeline pipeline;
+        /**
+         * KV bytes this request has actually written at each pipeline
+         * stage's node (indexed like pipeline). Finish and churn
+         * restarts release exactly this, so one request's teardown
+         * can never drain KV accounted to others.
+         */
+        std::vector<double> kvWritten;
         bool admitted = false;
+        bool finished = false;
+        /** Ever torn down by node churn: excluded from latency
+         *  samples, and regenerated work is not recounted. */
+        bool restartedEver = false;
+        /** Prompt completion already counted toward throughput. */
+        bool promptCounted = false;
         int generated = 0;
+        /** High-water mark of generated across restarts: only tokens
+         *  beyond it are new output (not churn regeneration). */
+        int peakGenerated = 0;
+        uint32_t epoch = 0;
         double firstTokenTime = -1.0;
         double finishTime = -1.0;
     };
@@ -189,52 +288,41 @@ class ClusterSimulator : public scheduler::SchedulerContext
          * queue behind multi-megabyte prompt transfers.
          */
         double interactiveBusyUntil = 0.0;
+        /** Cached from ClusterSpec::link so the hot path is one load. */
+        double bytesPerSecond = 0.0;
+        double latencyS = 0.0;
         LinkStat stat;
     };
 
-    using Callback = std::function<void()>;
+    /** Push a typed event at absolute time @p when. */
+    void scheduleEvent(double when, Event event);
 
-    struct Event
-    {
-        double time = 0.0;
-        uint64_t seq = 0;
-        Callback fn;
-    };
-
-    struct EventOrder
-    {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            if (a.time != b.time)
-                return a.time > b.time;
-            return a.seq > b.seq;
-        }
-    };
-
-    /** Schedule @p fn at absolute time @p when. */
-    void schedule(double when, Callback fn);
+    /** Dispatch one popped event. */
+    void dispatch(const Event &event);
 
     /** Try to admit pending requests through the scheduler. */
     void tryAdmit();
 
-    /** Transmit @p bytes over (from, to); @p on_arrival runs on
-     *  delivery. */
-    void sendMessage(int from, int to, double bytes,
-                     Callback on_arrival);
+    /**
+     * Account a transfer of @p bytes over (from, to) and return its
+     * delivery time (serialization + propagation).
+     */
+    double transferDelivery(int from, int to, double bytes);
 
     /** Deliver a work item to a node's queue. */
-    void enqueueWork(int node, WorkItem item);
+    void enqueueWork(int node, const WorkItem &item);
 
     /** Start a batch on an idle node with a non-empty queue. */
     void startBatch(int node);
 
-    /** Complete a batch: update KV, forward items, restart. */
-    void finishBatch(int node, std::vector<WorkItem> items,
-                     double batch_seconds);
+    /** Complete the batch in NodeState::running. */
+    void finishBatch(int node, double batch_seconds);
 
     /** Handle an output token arriving back at the coordinator. */
-    void onTokenAtCoordinator(int request);
+    void onTokenAtCoordinator(int request, uint32_t epoch);
+
+    /** Fail @p node: drop its work, restart affected requests. */
+    void onNodeFailure(int node);
 
     /** Current context length of a request (prompt + generated). */
     double contextLen(const RequestState &rs) const;
@@ -259,6 +347,8 @@ class ClusterSimulator : public scheduler::SchedulerContext
     std::deque<int> pending;
     std::vector<LinkState> links; // (side)^2, row 0 = coordinator
     int side = 0;
+    /** Scratch for prompts deferred during batch assembly (reused). */
+    std::vector<WorkItem> deferredScratch;
 
     SimMetrics metrics;
 };

@@ -128,6 +128,71 @@ DiurnalArrivals::nextArrival(double now, Rng &rng)
     }
 }
 
+BurstyArrivals::BurstyArrivals(double base_rate_per_s,
+                               double burst_multiplier,
+                               double mean_burst_s, double mean_gap_s)
+    : baseRate(base_rate_per_s), burstMultiplier(burst_multiplier),
+      meanBurstS(mean_burst_s), meanGapS(mean_gap_s)
+{
+    HELIX_ASSERT(baseRate > 0.0);
+    HELIX_ASSERT(burstMultiplier >= 1.0);
+    HELIX_ASSERT(meanBurstS > 0.0);
+    HELIX_ASSERT(meanGapS > 0.0);
+}
+
+void
+BurstyArrivals::advanceTo(double t, Rng &rng)
+{
+    if (nextTransitionS < 0.0) {
+        // Lazy start in the quiet state; first transition drawn here
+        // so construction itself consumes no randomness.
+        bursting = false;
+        nextTransitionS = rng.nextExponential(1.0 / meanGapS);
+    }
+    while (nextTransitionS <= t) {
+        bursting = !bursting;
+        double mean = bursting ? meanBurstS : meanGapS;
+        nextTransitionS += rng.nextExponential(1.0 / mean);
+    }
+}
+
+bool
+BurstyArrivals::burstingAt(double t, Rng &rng)
+{
+    advanceTo(t, rng);
+    return bursting;
+}
+
+double
+BurstyArrivals::rateAt(double t, Rng &rng)
+{
+    advanceTo(t, rng);
+    return bursting ? baseRate * burstMultiplier : baseRate;
+}
+
+double
+BurstyArrivals::meanRate() const
+{
+    double burst_frac = meanBurstS / (meanBurstS + meanGapS);
+    return baseRate *
+           (1.0 + burst_frac * (burstMultiplier - 1.0));
+}
+
+double
+BurstyArrivals::nextArrival(double now, Rng &rng)
+{
+    // Thinning against the burst-state (maximum) rate; the modulating
+    // chain advances on the same RNG stream for reproducibility.
+    double max_rate = baseRate * burstMultiplier;
+    double t = now;
+    for (;;) {
+        t += rng.nextExponential(max_rate);
+        double rate = rateAt(t, rng);
+        if (rng.nextDouble() <= rate / max_rate)
+            return t;
+    }
+}
+
 TraceGenerator::TraceGenerator(uint64_t seed, LengthModel model)
     : rng(seed), sampler(model)
 {

@@ -128,6 +128,53 @@ class DiurnalArrivals : public ArrivalProcess
     double periodS;
 };
 
+/**
+ * Markov-modulated Poisson process (MMPP) with two states: a baseline
+ * state at @p base_rate and a burst state at
+ * @p base_rate * burst_multiplier. State sojourn times are
+ * exponential, so burst onsets are memoryless and bursts of arrivals
+ * cluster the way production traffic spikes do. Sampled by thinning
+ * against the burst rate; the modulating chain advances on the same
+ * RNG stream, keeping traces reproducible from one seed.
+ */
+class BurstyArrivals : public ArrivalProcess
+{
+  public:
+    /**
+     * @param base_rate_per_s arrival rate outside bursts
+     * @param burst_multiplier rate multiplier during a burst (>= 1)
+     * @param mean_burst_s mean burst duration
+     * @param mean_gap_s mean quiet time between bursts
+     */
+    BurstyArrivals(double base_rate_per_s,
+                   double burst_multiplier = 5.0,
+                   double mean_burst_s = 30.0,
+                   double mean_gap_s = 270.0);
+
+    double nextArrival(double now, Rng &rng) override;
+
+    /** Whether the modulating chain is bursting at time @p t. */
+    bool burstingAt(double t, Rng &rng);
+
+    /** Instantaneous rate at time @p t (advances the chain). */
+    double rateAt(double t, Rng &rng);
+
+    /** Long-run average arrival rate implied by the parameters. */
+    double meanRate() const;
+
+  private:
+    /** Advance the modulating chain to time @p t. */
+    void advanceTo(double t, Rng &rng);
+
+    double baseRate;
+    double burstMultiplier;
+    double meanBurstS;
+    double meanGapS;
+    /** Modulating-chain state: bursting until/quiet until. */
+    bool bursting = false;
+    double nextTransitionS = -1.0;
+};
+
 /** Generates complete request traces. */
 class TraceGenerator
 {

@@ -102,14 +102,22 @@ Histogram::add(double value)
     ++total;
     if (value < lo) {
         ++below;
-    } else if (value >= hi) {
-        ++above;
-    } else {
-        auto index = static_cast<size_t>((value - lo) / width);
-        if (index >= counts.size())
-            index = counts.size() - 1;
-        ++counts[index];
+        return;
     }
+    if (value >= hi) {
+        ++above;
+        return;
+    }
+    // A value in [lo, hi) can still index past the last bucket when
+    // (hi - lo) / num_buckets rounds the width down (or denormalizes):
+    // such samples belong to overflow, not to a silently-stretched
+    // last bucket.
+    double offset = (value - lo) / width;
+    if (!(offset < static_cast<double>(counts.size()))) {
+        ++above;
+        return;
+    }
+    ++counts[static_cast<size_t>(offset)];
 }
 
 size_t

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Tests for the experiment-runner subsystem: runner-vs-direct
+ * equivalence on the paper's three cluster setups (Fig. 6/7/8),
+ * thread-count invariance, declarative sweeps, the scenario catalog,
+ * registries, and the JSON/CSV emitters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exp/experiment.h"
+
+namespace helix {
+namespace exp {
+namespace {
+
+/** Smoke-scale run so each simulation takes milliseconds. */
+RunConfig
+smokeRun(bool online)
+{
+    RunConfig run;
+    run.online = online;
+    run.warmupSeconds = 1.0;
+    run.measureSeconds = 3.0;
+    run.seed = online ? 43 : 42;
+    return run;
+}
+
+void
+expectMetricsIdentical(const sim::SimMetrics &a,
+                       const sim::SimMetrics &b)
+{
+    EXPECT_EQ(a.decodeThroughput, b.decodeThroughput);
+    EXPECT_EQ(a.promptThroughput, b.promptThroughput);
+    EXPECT_EQ(a.requestsArrived, b.requestsArrived);
+    EXPECT_EQ(a.requestsAdmitted, b.requestsAdmitted);
+    EXPECT_EQ(a.requestsCompleted, b.requestsCompleted);
+    EXPECT_EQ(a.requestsRejected, b.requestsRejected);
+    EXPECT_EQ(a.requestsRestarted, b.requestsRestarted);
+    EXPECT_EQ(a.decodeTokensInWindow, b.decodeTokensInWindow);
+    EXPECT_EQ(a.promptTokensInWindow, b.promptTokensInWindow);
+    EXPECT_EQ(a.avgKvUtilization, b.avgKvUtilization);
+    EXPECT_EQ(a.promptLatency.count(), b.promptLatency.count());
+    EXPECT_EQ(a.promptLatency.mean(), b.promptLatency.mean());
+    EXPECT_EQ(a.promptLatency.percentile(95),
+              b.promptLatency.percentile(95));
+    EXPECT_EQ(a.decodeLatency.count(), b.decodeLatency.count());
+    EXPECT_EQ(a.decodeLatency.mean(), b.decodeLatency.mean());
+    EXPECT_EQ(a.decodeLatency.percentile(95),
+              b.decodeLatency.percentile(95));
+    ASSERT_EQ(a.nodeStats.size(), b.nodeStats.size());
+    for (size_t i = 0; i < a.nodeStats.size(); ++i) {
+        EXPECT_EQ(a.nodeStats[i].batches, b.nodeStats[i].batches);
+        EXPECT_EQ(a.nodeStats[i].tokensProcessed,
+                  b.nodeStats[i].tokensProcessed);
+        EXPECT_EQ(a.nodeStats[i].busySeconds,
+                  b.nodeStats[i].busySeconds);
+    }
+}
+
+/**
+ * The acceptance criterion for the runner: fig6 (single cluster),
+ * fig7 (geo-distributed), and fig8 (high heterogeneity) produce the
+ * same SimMetrics whether each ClusterSimulator is invoked directly
+ * or dispatched through the thread-pool runner.
+ */
+TEST(ExperimentRunner, MatchesDirectInvocationOnFigureSetups)
+{
+    struct Setup
+    {
+        const char *cluster;
+        const char *model;
+    };
+    const Setup setups[] = {
+        {"single24", "llama30b"}, // Fig. 6
+        {"geo24", "llama30b"},    // Fig. 7
+        {"hetero42", "llama70b"}, // Fig. 8
+    };
+    const SchedulerKind kinds[] = {SchedulerKind::Helix,
+                                   SchedulerKind::Swarm,
+                                   SchedulerKind::FixedRoundRobin};
+
+    for (const Setup &setup : setups) {
+        auto clus = clusterByName(setup.cluster);
+        auto model_spec = modelByName(setup.model);
+        ASSERT_TRUE(clus && model_spec);
+        auto planner = plannerByName("swarm", 0.05);
+        ASSERT_NE(planner, nullptr);
+        Deployment deployment(*clus, *model_spec, *planner);
+
+        for (bool online : {false, true}) {
+            RunConfig run = smokeRun(online);
+            std::vector<Job> jobs;
+            for (SchedulerKind kind : kinds) {
+                Job job;
+                job.label = toString(kind);
+                job.deployment = &deployment;
+                job.scheduler = kind;
+                job.run = run;
+                jobs.push_back(std::move(job));
+            }
+            RunnerOptions options;
+            options.numThreads = 3;
+            ExperimentRunner runner(options);
+            auto results = runner.run(jobs);
+            ASSERT_EQ(results.size(), 3u);
+
+            for (size_t i = 0; i < jobs.size(); ++i) {
+                auto sched = makeScheduler(deployment, kinds[i]);
+                auto direct = runExperiment(deployment, *sched, run);
+                // Guard against vacuous equivalence: the saturating
+                // offline runs must actually see traffic.
+                if (!online) {
+                    EXPECT_GT(direct.requestsArrived, 0)
+                        << setup.cluster;
+                }
+                expectMetricsIdentical(results[i].metrics, direct);
+                EXPECT_EQ(results[i].plannedThroughput,
+                          deployment.plannedThroughput());
+            }
+        }
+    }
+}
+
+TEST(ExperimentRunner, ResultsIndependentOfThreadCount)
+{
+    auto clus = clusterByName("planner10");
+    auto model_spec = modelByName("llama30b");
+    ASSERT_TRUE(clus && model_spec);
+    auto planner = plannerByName("swarm", 0.05);
+    Deployment deployment(*clus, *model_spec, *planner);
+
+    std::vector<Job> jobs;
+    for (const Scenario &scenario : scenarios::all()) {
+        Job job;
+        job.label = scenario.name;
+        job.deployment = &deployment;
+        job.scheduler = SchedulerKind::Helix;
+        job.run = scenario.toRun(1.0, 4.0, 7);
+        jobs.push_back(std::move(job));
+    }
+
+    RunnerOptions serial;
+    serial.numThreads = 1;
+    RunnerOptions parallel;
+    parallel.numThreads = 4;
+    auto serial_results = ExperimentRunner(serial).run(jobs);
+    auto parallel_results = ExperimentRunner(parallel).run(jobs);
+    ASSERT_EQ(serial_results.size(), parallel_results.size());
+    for (size_t i = 0; i < serial_results.size(); ++i) {
+        EXPECT_EQ(serial_results[i].label, parallel_results[i].label);
+        expectMetricsIdentical(serial_results[i].metrics,
+                               parallel_results[i].metrics);
+    }
+}
+
+TEST(Scenarios, CatalogMaterializesRunConfigs)
+{
+    Scenario churn = scenarios::nodeChurn(2, 0.5);
+    RunConfig run = churn.toRun(10.0, 30.0, 7);
+    EXPECT_EQ(run.failNodeIndex, 2);
+    EXPECT_DOUBLE_EQ(run.failAtSeconds, 20.0);
+    EXPECT_EQ(run.seed, 7u);
+
+    Scenario burst = scenarios::bursty(8.0, 10.0, 90.0);
+    RunConfig burst_run = burst.toRun(5.0, 20.0, 3);
+    EXPECT_EQ(burst_run.arrivals, ArrivalKind::Bursty);
+    EXPECT_DOUBLE_EQ(burst_run.burstMultiplier, 8.0);
+    EXPECT_LT(burst_run.failNodeIndex, 0);
+
+    EXPECT_EQ(scenarios::all().size(), 4u);
+}
+
+TEST(Sweep, ExpandsCartesianProductAndRuns)
+{
+    SweepConfig sweep;
+    sweep.clusters = {"planner10"};
+    sweep.models = {"llama30b"};
+    sweep.planners = {"swarm", "sp"};
+    sweep.schedulers = {"helix", "swarm"};
+    // Offline-mode churn saturates arrivals so the short smoke
+    // window is guaranteed traffic.
+    sweep.scenarios = {scenarios::offline(),
+                       scenarios::nodeChurn(0, 0.3, false)};
+    sweep.plannerBudgetS = 0.05;
+    sweep.warmupSeconds = 1.0;
+    sweep.measureSeconds = 3.0;
+
+    auto results = runSweep(sweep);
+    ASSERT_EQ(results.size(), 8u); // 2 planners x 2 scheds x 2 scen.
+    bool any_traffic = false;
+    for (const auto &result : results) {
+        EXPECT_FALSE(result.label.empty());
+        EXPECT_GE(result.wallSeconds, 0.0);
+        // A planner can legitimately produce a zero-throughput
+        // placement on this small cluster (no complete pipeline);
+        // those runs get empty traces. Everything else sees traffic.
+        if (result.plannedThroughput > 0.0) {
+            EXPECT_GT(result.metrics.requestsArrived, 0)
+                << result.label;
+            any_traffic = true;
+        }
+    }
+    EXPECT_TRUE(any_traffic);
+    // Labels carry the sweep coordinates.
+    EXPECT_NE(results[0].label.find("planner10"), std::string::npos);
+    EXPECT_NE(results[0].label.find("llama30b"), std::string::npos);
+    // Churn scenarios restart requests on the failed node's pipelines
+    // somewhere in the sweep.
+    long restarts = 0;
+    for (const auto &result : results)
+        restarts += result.metrics.requestsRestarted;
+    EXPECT_GE(restarts, 0);
+}
+
+TEST(Sweep, UnknownNamesAreSkippedNotFatal)
+{
+    SweepConfig sweep;
+    sweep.clusters = {"no-such-cluster", "planner10"};
+    sweep.models = {"llama30b"};
+    sweep.planners = {"swarm", "no-such-planner"};
+    sweep.schedulers = {"helix", "no-such-sched"};
+    sweep.scenarios = {scenarios::offline()};
+    sweep.plannerBudgetS = 0.05;
+    sweep.warmupSeconds = 1.0;
+    sweep.measureSeconds = 2.0;
+    auto results = runSweep(sweep);
+    EXPECT_EQ(results.size(), 1u);
+}
+
+TEST(Emitters, JsonAndCsvCarryEveryRow)
+{
+    auto clus = clusterByName("planner10");
+    auto model_spec = modelByName("llama30b");
+    auto planner = plannerByName("swarm", 0.05);
+    Deployment deployment(*clus, *model_spec, *planner);
+    std::vector<Job> jobs;
+    for (int i = 0; i < 2; ++i) {
+        Job job;
+        job.label = i == 0 ? "alpha" : "beta";
+        job.deployment = &deployment;
+        job.scheduler = SchedulerKind::Helix;
+        job.run = smokeRun(false);
+        jobs.push_back(std::move(job));
+    }
+    auto results = ExperimentRunner().run(jobs);
+
+    std::string json = resultsToJson(results);
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_NE(json.find("\"label\": \"alpha\""), std::string::npos);
+    EXPECT_NE(json.find("\"label\": \"beta\""), std::string::npos);
+    EXPECT_NE(json.find("\"decode_throughput\""), std::string::npos);
+    EXPECT_NE(json.find("\"requests_restarted\""), std::string::npos);
+
+    std::string csv = resultsToCsv(results);
+    size_t lines = static_cast<size_t>(
+        std::count(csv.begin(), csv.end(), '\n'));
+    EXPECT_EQ(lines, results.size() + 1); // header + one per row
+    EXPECT_EQ(csv.rfind("label,", 0), 0u);
+    EXPECT_NE(csv.find("decode_latency_p99"), std::string::npos);
+}
+
+TEST(Registries, LookupsResolveAndRejectUnknowns)
+{
+    auto single = clusterByName("single24");
+    ASSERT_TRUE(single.has_value());
+    EXPECT_EQ(single->numNodes(), 24);
+    auto hetero = clusterByName("hetero42");
+    ASSERT_TRUE(hetero.has_value());
+    EXPECT_EQ(hetero->numNodes(), 42);
+    EXPECT_FALSE(clusterByName("bogus").has_value());
+
+    auto seventy = modelByName("llama70b");
+    ASSERT_TRUE(seventy.has_value());
+    EXPECT_FALSE(modelByName("bogus").has_value());
+
+    auto sp_plus = plannerByName("sp+", 1.0);
+    ASSERT_NE(sp_plus, nullptr);
+    EXPECT_EQ(plannerByName("bogus", 1.0), nullptr);
+
+    EXPECT_EQ(schedulerKindByName("fixed-rr"),
+              SchedulerKind::FixedRoundRobin);
+    EXPECT_FALSE(schedulerKindByName("bogus").has_value());
+}
+
+} // namespace
+} // namespace exp
+} // namespace helix

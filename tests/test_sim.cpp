@@ -254,6 +254,158 @@ TEST_F(SimFixture, DeterministicForSeedAndTrace)
     EXPECT_DOUBLE_EQ(m1.promptLatency.mean(), m2.promptLatency.mean());
 }
 
+TEST_F(SimFixture, WarmupStraddlingRequestsExcludedFromPromptLatency)
+{
+    // Requests that arrive during warmup but produce their first
+    // token inside the window used to contribute their (arbitrarily
+    // long) pre-window queueing to promptLatency. They must be
+    // excluded: only requests measured entirely in-window count.
+    scheduler::HelixScheduler sched(*topo);
+    SimConfig config;
+    config.warmupSeconds = 5.0;
+    config.measureSeconds = 60.0;
+    ClusterSimulator sim(clusterSpec, *profiler, placement, sched,
+                         config);
+    // All arrivals just before the warmup boundary; end-to-end first
+    // token latency exceeds 10 ms (4 links x 1 ms plus two prompt
+    // iterations), so every first token lands inside the window.
+    std::vector<trace::Request> straddlers;
+    for (int i = 0; i < 3; ++i)
+        straddlers.push_back({i, 4.99, 100, 8});
+    auto metrics = sim.run(straddlers);
+    ASSERT_EQ(metrics.requestsCompleted, 3);
+    EXPECT_GT(metrics.decodeTokensInWindow, 0);
+    EXPECT_EQ(metrics.promptLatency.count(), 0u);
+}
+
+TEST_F(SimFixture, WarmupStraddlingRequestsExcludedFromDecodeLatency)
+{
+    scheduler::HelixScheduler sched(*topo);
+    SimConfig config;
+    config.warmupSeconds = 5.0;
+    config.measureSeconds = 120.0;
+    ClusterSimulator sim(clusterSpec, *profiler, placement, sched,
+                         config);
+    // The straddler's first token arrives well before the window
+    // (arrival at 0, light load) while its long decode finishes
+    // inside it; the control runs entirely in-window.
+    trace::Request straddler{0, 0.0, 100, 1500};
+    trace::Request control{1, 20.0, 100, 16};
+    auto metrics = sim.run({straddler, control});
+    ASSERT_EQ(metrics.requestsCompleted, 2);
+    // Only the control contributes to either latency metric.
+    EXPECT_EQ(metrics.promptLatency.count(), 1u);
+    EXPECT_EQ(metrics.decodeLatency.count(), 1u);
+}
+
+TEST_F(SimFixture, EwmaThroughputTracksBusyAverageRate)
+{
+    // The throughput EWMA is duration-weighted: after a long steady
+    // run it must sit near each node's busy-time average rate rather
+    // than being dominated by whichever small batches ran last.
+    scheduler::HelixScheduler sched(*topo);
+    SimConfig config;
+    config.warmupSeconds = 2.0;
+    config.measureSeconds = 60.0;
+    ClusterSimulator sim(clusterSpec, *profiler, placement, sched,
+                         config);
+    auto metrics = sim.run(makeRequests(400, 8.0));
+    for (size_t i = 0; i < metrics.nodeStats.size(); ++i) {
+        const auto &stat = metrics.nodeStats[i];
+        ASSERT_GT(stat.busySeconds, 0.0);
+        double avg_rate = static_cast<double>(stat.tokensProcessed) /
+                          stat.busySeconds;
+        double ewma = sim.recentThroughput(static_cast<int>(i));
+        EXPECT_GT(ewma, 0.2 * avg_rate) << "node " << i;
+        EXPECT_LT(ewma, 5.0 * avg_rate) << "node " << i;
+    }
+}
+
+TEST_F(SimFixture, NodeFailureForcesRescheduling)
+{
+    scheduler::HelixScheduler sched(*topo);
+    SimConfig config;
+    config.warmupSeconds = 2.0;
+    config.measureSeconds = 60.0;
+    config.failNodeIndex = 1;
+    config.failAtSeconds = 10.0;
+    ClusterSimulator sim(clusterSpec, *profiler, placement, sched,
+                         config);
+    auto metrics = sim.run(makeRequests(200, 5.0));
+    // Requests in flight through node 1 at the failure restart and
+    // complete on the surviving pipeline.
+    EXPECT_GT(metrics.requestsRestarted, 0);
+    EXPECT_GT(metrics.requestsCompleted, 0);
+    EXPECT_FALSE(sim.nodeAlive(1));
+    EXPECT_TRUE(sim.nodeAlive(0));
+    // Conservation still holds after restarts.
+    EXPECT_LE(metrics.requestsCompleted, metrics.requestsAdmitted);
+    EXPECT_LE(metrics.requestsAdmitted + metrics.requestsRejected,
+              metrics.requestsArrived);
+    // The dead node stops executing; the surviving same-layer replica
+    // keeps going and ends up with strictly more batches.
+    EXPECT_GT(metrics.nodeStats[3].batches,
+              metrics.nodeStats[1].batches);
+}
+
+TEST_F(SimFixture, ChurnDoesNotDoubleCountWindowMetrics)
+{
+    // A restarted request regenerates its prompt and its already
+    // delivered tokens; none of that recovery work may be recounted
+    // as served tokens or resampled into the latency distributions.
+    // The single request routes onto one of the two pipelines; fail
+    // each candidate node in turn so at least one run restarts it.
+    trace::Request lone{0, 0.0, 200, 40};
+    long restarts = 0;
+    for (int fail_node : {1, 3}) {
+        scheduler::HelixScheduler sched(*topo);
+        SimConfig config;
+        config.warmupSeconds = 0.0;
+        config.measureSeconds = 120.0;
+        config.failNodeIndex = fail_node;
+        config.failAtSeconds = 0.5;
+        ClusterSimulator sim(clusterSpec, *profiler, placement, sched,
+                             config);
+        auto metrics = sim.run({lone});
+        restarts += metrics.requestsRestarted;
+        ASSERT_EQ(metrics.requestsCompleted, 1);
+        // Each of the 40 output tokens counts at most once (the
+        // first is prompt completion, not decode), the prompt counts
+        // at most once, and at most one latency sample per metric.
+        EXPECT_LE(metrics.decodeTokensInWindow, 39);
+        EXPECT_LE(metrics.promptTokensInWindow, 200);
+        EXPECT_LE(metrics.promptLatency.count(), 1u);
+        EXPECT_LE(metrics.decodeLatency.count(), 1u);
+    }
+    EXPECT_GE(restarts, 1);
+}
+
+TEST_F(SimFixture, NodeFailureDeterministic)
+{
+    auto requests = makeRequests(150, 6.0, 17);
+    SimConfig config;
+    config.warmupSeconds = 2.0;
+    config.measureSeconds = 40.0;
+    config.failNodeIndex = 0;
+    config.failAtSeconds = 8.0;
+
+    scheduler::HelixScheduler sched1(*topo);
+    ClusterSimulator sim1(clusterSpec, *profiler, placement, sched1,
+                          config);
+    auto m1 = sim1.run(requests);
+
+    scheduler::HelixScheduler sched2(*topo);
+    ClusterSimulator sim2(clusterSpec, *profiler, placement, sched2,
+                          config);
+    auto m2 = sim2.run(requests);
+
+    EXPECT_EQ(m1.requestsCompleted, m2.requestsCompleted);
+    EXPECT_EQ(m1.requestsRestarted, m2.requestsRestarted);
+    EXPECT_DOUBLE_EQ(m1.decodeThroughput, m2.decodeThroughput);
+    EXPECT_DOUBLE_EQ(m1.promptLatency.mean(),
+                     m2.promptLatency.mean());
+}
+
 TEST_F(SimFixture, SlowNetworkRaisesLatency)
 {
     // Same workload on a 100x slower, higher-latency network.

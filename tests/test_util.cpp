@@ -256,6 +256,61 @@ TEST(Histogram, CountsFallInRightBuckets)
     EXPECT_EQ(h.totalCount(), 7u);
 }
 
+TEST(Histogram, ExactUpperBoundLandsInOverflow)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(10.0);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.bucketCount(4), 0u);
+}
+
+TEST(Histogram, BucketEdgesAreLowerInclusive)
+{
+    Histogram h(0.0, 10.0, 5);
+    for (double edge : {0.0, 2.0, 4.0, 6.0, 8.0})
+        h.add(edge);
+    for (size_t i = 0; i < h.numBuckets(); ++i)
+        EXPECT_EQ(h.bucketCount(i), 1u) << "bucket " << i;
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, RoundedWidthNeverIndexesPastLastBucket)
+{
+    // (hi - lo) / n rounds down here, so values just below hi compute
+    // an offset >= n; they must be counted as overflow, not written
+    // past the bucket array or folded into the last bucket.
+    double lo = 0.0;
+    double hi = 0.7;
+    Histogram h(lo, hi, 7);
+    double just_below_hi = std::nextafter(hi, 0.0);
+    h.add(just_below_hi);
+    size_t in_buckets = 0;
+    for (size_t i = 0; i < h.numBuckets(); ++i)
+        in_buckets += h.bucketCount(i);
+    EXPECT_EQ(in_buckets + h.overflow(), 1u);
+    EXPECT_EQ(h.totalCount(), 1u);
+}
+
+TEST(Histogram, DenormalWidthDoesNotCrash)
+{
+    // A span this small makes the per-bucket width denormal; the
+    // offset division can overflow to inf. Every sample must still be
+    // accounted for in exactly one counter.
+    double lo = 0.0;
+    double hi = 1e-312;
+    Histogram h(lo, hi, 4);
+    h.add(0.0);
+    h.add(hi / 2.0);
+    h.add(hi);
+    h.add(1.0);
+    size_t in_buckets = 0;
+    for (size_t i = 0; i < h.numBuckets(); ++i)
+        in_buckets += h.bucketCount(i);
+    EXPECT_EQ(in_buckets + h.underflow() + h.overflow(), 4u);
+    EXPECT_EQ(h.totalCount(), 4u);
+}
+
 TEST(Histogram, RenderProducesOneLinePerBucket)
 {
     Histogram h(0.0, 4.0, 4);
