@@ -16,6 +16,7 @@
 
 #include "core/helix.h"
 #include "exp/experiment.h"
+#include "exp/spec.h"
 
 namespace helix {
 namespace bench {
@@ -119,15 +120,8 @@ printRatios(const std::vector<SystemResult> &rows)
     }
 }
 
-/** One system under test in a figure comparison. */
-struct System
-{
-    const char *name;
-    placement::Planner *planner;
-    SchedulerKind scheduler;
-};
-
-/** Offline run configuration at the given scale. */
+/** Offline run configuration at the given scale (deep-dive benches;
+ *  the figure comparisons get the equivalent from their spec). */
 inline RunConfig
 offlineRun(const Scale &scale, uint64_t seed = 42)
 {
@@ -140,67 +134,85 @@ offlineRun(const Scale &scale, uint64_t seed = 42)
 }
 
 /**
- * Online run configuration: arrival rate fixed at 75% of the measured
- * offline peak (Sec. 6.2 scales the trace to 75% of the cluster's
- * peak throughput), shared by every system under test.
+ * One system under test in a figure comparison, named via the
+ * src/exp registries (see exp::plannerNames / exp::schedulerNames).
  */
-inline RunConfig
-onlineRun(const Scale &scale, double offline_decode_tokens_per_s,
-          uint64_t seed = 43)
+struct System
 {
-    RunConfig run;
-    run.online = true;
-    run.warmupSeconds = scale.onlineWarmupS;
-    run.measureSeconds = scale.onlineMeasureS;
-    run.seed = seed;
-    trace::LengthModel lengths;
-    run.requestRate = 0.75 * offline_decode_tokens_per_s /
-                      lengths.targetMeanOutput;
-    return run;
+    const char *name;
+    const char *planner;
+    const char *scheduler;
+};
+
+/**
+ * The declarative spec for one figure's offline + online comparison:
+ * offline (saturating Poisson, seed 42), then online at 75% of the
+ * first system's measured offline peak (Sec. 6.2, seed 43). This is
+ * the exact structure examples/fig6.exp (and friends) carry as text;
+ * the figure binaries and `helixctl run` execute it through the same
+ * exp::runSpec engine.
+ */
+inline io::ExperimentSpec
+figureSpec(const std::string &figure_name, const char *cluster,
+           const std::vector<const char *> &models,
+           const std::vector<System> &systems, const Scale &scale)
+{
+    io::ExperimentSpec spec;
+    spec.name = figure_name;
+    spec.seed = 42;
+    spec.warmupS = scale.offlineWarmupS;
+    spec.measureS = scale.offlineMeasureS;
+    spec.plannerBudgetS = scale.plannerBudgetS;
+    spec.clusters.push_back({cluster, 0});
+    for (const char *model : models)
+        spec.models.push_back({model, 0});
+    for (const System &sys : systems)
+        spec.systems.push_back({sys.name, sys.planner, sys.scheduler, 0});
+    io::ScenarioSpec offline;
+    offline.kind = "offline";
+    io::ScenarioSpec online;
+    online.kind = "online-peak";
+    online.options = {{"fraction", 0.75},
+                      {"seed", 43.0},
+                      {"warmup", scale.onlineWarmupS},
+                      {"measure", scale.onlineMeasureS}};
+    spec.scenarios = {offline, online};
+    return spec;
 }
 
 /**
- * Run one figure's offline + online comparison for @p model_spec over
- * @p systems through the shared experiment-runner engine, printing
- * the standard tables. Each system is planned once; the offline batch
- * and the online batch (whose arrival rate is 75% of the measured
- * offline Helix peak, Sec. 6.2) each execute on the runner's thread
- * pool. Results are byte-identical to invoking runExperiment()
- * per system directly.
+ * Run one figure's offline + online comparison for @p model (a model
+ * registry name) over @p systems through the shared spec engine,
+ * printing the standard tables. Each system is planned once; the
+ * offline batch and the online batch (whose arrival rate is 75% of
+ * the measured offline peak of the first — Helix — system, Sec. 6.2)
+ * each execute on the runner's thread pool. This is exactly
+ * `helixctl run` on the equivalent spec file.
  */
 inline void
-runFigureComparison(const cluster::ClusterSpec &clus,
-                    const model::TransformerSpec &model_spec,
+runFigureComparison(const char *cluster_name, const char *model_name,
                     const std::vector<System> &systems,
                     const Scale &scale,
                     const std::string &offline_title,
                     const std::string &online_title)
 {
-    std::vector<Deployment> deployments;
-    deployments.reserve(systems.size());
-    for (const System &sys : systems)
-        deployments.emplace_back(clus, model_spec, *sys.planner);
+    io::ExperimentSpec spec = figureSpec(
+        "figure", cluster_name, {model_name}, systems, scale);
+    io::ParseError error;
+    auto results = exp::runSpec(spec, &error);
+    if (!results) {
+        std::fprintf(stderr, "invalid figure spec: %s\n",
+                     error.str().c_str());
+        std::exit(1);
+    }
 
-    exp::ExperimentRunner runner;
-    auto make_jobs = [&](const RunConfig &run) {
-        std::vector<exp::Job> jobs;
-        jobs.reserve(systems.size());
-        for (size_t i = 0; i < systems.size(); ++i) {
-            exp::Job job;
-            job.label = systems[i].name;
-            job.deployment = &deployments[i];
-            job.scheduler = systems[i].scheduler;
-            job.run = run;
-            jobs.push_back(std::move(job));
-        }
-        return jobs;
-    };
-    auto to_rows = [](const std::vector<exp::JobResult> &results) {
+    auto to_rows = [&](size_t first) {
         std::vector<SystemResult> rows;
-        rows.reserve(results.size());
-        for (const exp::JobResult &result : results) {
+        rows.reserve(systems.size());
+        for (size_t i = 0; i < systems.size(); ++i) {
+            const exp::JobResult &result = results->at(first + i);
             SystemResult row;
-            row.system = result.label;
+            row.system = systems[i].name;
             row.plannedThroughput = result.plannedThroughput;
             row.metrics = result.metrics;
             rows.push_back(std::move(row));
@@ -208,16 +220,13 @@ runFigureComparison(const cluster::ClusterSpec &clus,
         return rows;
     };
 
-    auto offline_rows =
-        to_rows(runner.run(make_jobs(offlineRun(scale))));
+    auto offline_rows = to_rows(0);
     printHeader(offline_title.c_str());
     for (const auto &row : offline_rows)
         printRow(row);
     printRatios(offline_rows);
 
-    double peak = offline_rows.front().metrics.decodeThroughput;
-    auto online_rows =
-        to_rows(runner.run(make_jobs(onlineRun(scale, peak))));
+    auto online_rows = to_rows(systems.size());
     printHeader(online_title.c_str());
     for (const auto &row : online_rows)
         printRow(row);

@@ -4,6 +4,11 @@
  * 10 Gb/s) of LLaMA 30B and LLaMA 70B, offline and online, comparing
  * Helix against the Swarm and separate-pipelines (SP) baselines.
  *
+ * The comparison is a declarative spec over the shared experiment
+ * engine — examples/fig6.exp is the same configuration as a text
+ * file, so `helixctl run examples/fig6.exp` executes the identical
+ * code path as this binary with `--smoke`.
+ *
  * Paper reference points: for 70B, Helix achieves 2.14x (offline) /
  * 2.07x (online) Swarm's decode throughput and 1.86x / 1.69x SP's;
  * for 30B (where per-type replicas are feasible) Helix and SP are
@@ -21,30 +26,21 @@ main(int argc, char **argv)
     using namespace helix::bench;
 
     Scale scale = Scale::fromArgs(argc, argv);
-    cluster::ClusterSpec clus = cluster::setups::singleCluster24();
+    cluster::ClusterSpec clus = *exp::clusterByName("single24");
     std::printf("cluster: %s\n", clus.summary().c_str());
 
-    const model::TransformerSpec models[] = {
-        model::catalog::llama30b(),
-        model::catalog::llama70b(),
+    const std::vector<System> systems = {
+        {"helix", "helix", "helix"},
+        {"swarm", "swarm", "swarm"},
+        {"sp", "sp", "fixed-rr"},
     };
 
-    for (const auto &model_spec : models) {
-        placement::HelixPlannerConfig planner_config;
-        planner_config.timeBudgetSeconds = scale.plannerBudgetS;
-        placement::HelixPlanner helix_planner(planner_config);
-        placement::SwarmPlanner swarm_planner;
-        placement::SeparatePipelinesPlanner sp_planner(false);
-
-        // Declarative figure config over the shared experiment
-        // engine: offline (Fig. 6a/c) then online (Fig. 6b/d, e-h).
+    for (const char *model_name : {"llama30b", "llama70b"}) {
+        std::string display = exp::modelByName(model_name)->name;
         runFigureComparison(
-            clus, model_spec,
-            {{"helix", &helix_planner, SchedulerKind::Helix},
-             {"swarm", &swarm_planner, SchedulerKind::Swarm},
-             {"sp", &sp_planner, SchedulerKind::FixedRoundRobin}},
-            scale, model_spec.name + " - offline (Fig. 6a/c)",
-            model_spec.name + " - online (Fig. 6b/d, e-h)");
+            "single24", model_name, systems, scale,
+            display + " - offline (Fig. 6a/c)",
+            display + " - online (Fig. 6b/d, e-h)");
     }
 
     std::printf("\npaper reference (70B): helix/swarm 2.14x offline, "

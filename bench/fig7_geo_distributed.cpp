@@ -22,7 +22,7 @@ main(int argc, char **argv)
     using namespace helix::bench;
 
     Scale scale = Scale::fromArgs(argc, argv);
-    cluster::ClusterSpec clus = cluster::setups::geoDistributed24();
+    cluster::ClusterSpec clus = *exp::clusterByName("geo24");
     std::printf("cluster: %s (3 regions, inter 100 Mb/s / 50 ms)\n",
                 clus.summary().c_str());
 
@@ -51,26 +51,18 @@ main(int argc, char **argv)
         std::printf("\n");
     }
 
-    const model::TransformerSpec models[] = {
-        model::catalog::llama30b(),
-        model::catalog::llama70b(),
+    const std::vector<System> systems = {
+        {"helix", "helix-pruned", "helix"},
+        {"swarm", "swarm", "swarm"},
+        {"sp", "sp", "fixed-rr"},
     };
 
-    for (const auto &model_spec : models) {
-        placement::HelixPlannerConfig planner_config;
-        planner_config.timeBudgetSeconds = scale.plannerBudgetS;
-        planner_config.usePruning = true;
-        placement::HelixPlanner helix_planner(planner_config);
-        placement::SwarmPlanner swarm_planner;
-        placement::SeparatePipelinesPlanner sp_planner(false);
-
+    for (const char *model_name : {"llama30b", "llama70b"}) {
+        std::string display = exp::modelByName(model_name)->name;
         runFigureComparison(
-            clus, model_spec,
-            {{"helix", &helix_planner, SchedulerKind::Helix},
-             {"swarm", &swarm_planner, SchedulerKind::Swarm},
-             {"sp", &sp_planner, SchedulerKind::FixedRoundRobin}},
-            scale, model_spec.name + " - geo offline (Fig. 7a/b)",
-            model_spec.name + " - geo online (Fig. 7c-f)");
+            "geo24", model_name, systems, scale,
+            display + " - geo offline (Fig. 7a/b)",
+            display + " - geo online (Fig. 7c-f)");
     }
 
     std::printf("\npaper reference (70B geo): helix/swarm 1.92x "

@@ -21,27 +21,18 @@ main(int argc, char **argv)
     using namespace helix::bench;
 
     Scale scale = Scale::fromArgs(argc, argv);
-    cluster::ClusterSpec clus =
-        cluster::setups::highHeterogeneity42();
+    cluster::ClusterSpec clus = *exp::clusterByName("hetero42");
     std::printf("cluster: %s\n", clus.summary().c_str());
 
-    model::TransformerSpec model_spec = model::catalog::llama70b();
-
-    placement::HelixPlannerConfig planner_config;
-    planner_config.timeBudgetSeconds = scale.plannerBudgetS;
-    planner_config.usePruning = true;
-    placement::HelixPlanner helix_planner(planner_config);
-    placement::SwarmPlanner swarm_planner;
-    placement::SeparatePipelinesPlanner sp_planner(false);
-    placement::SeparatePipelinesPlanner sp_plus_planner(true);
+    const std::vector<System> systems = {
+        {"helix", "helix-pruned", "helix"},
+        {"swarm", "swarm", "swarm"},
+        {"sp", "sp", "fixed-rr"},
+        {"sp+", "sp+", "fixed-rr"},
+    };
 
     runFigureComparison(
-        clus, model_spec,
-        {{"helix", &helix_planner, SchedulerKind::Helix},
-         {"swarm", &swarm_planner, SchedulerKind::Swarm},
-         {"sp", &sp_planner, SchedulerKind::FixedRoundRobin},
-         {"sp+", &sp_plus_planner, SchedulerKind::FixedRoundRobin}},
-        scale,
+        "hetero42", "llama70b", systems, scale,
         "LLaMA-70B - 42-node high heterogeneity, offline (Fig. 8a)",
         "LLaMA-70B - 42-node high heterogeneity, online (Fig. 8b/c)");
 

@@ -429,9 +429,10 @@ modelByName(const std::string &name)
 std::unique_ptr<placement::Planner>
 plannerByName(const std::string &name, double planner_budget_s)
 {
-    if (name == "helix") {
+    if (name == "helix" || name == "helix-pruned") {
         placement::HelixPlannerConfig config;
         config.timeBudgetSeconds = planner_budget_s;
+        config.usePruning = (name == "helix-pruned");
         return std::make_unique<placement::HelixPlanner>(config);
     }
     if (name == "swarm")
@@ -463,6 +464,40 @@ schedulerKindByName(const std::string &name)
     if (name == "fixed-rr")
         return SchedulerKind::FixedRoundRobin;
     return std::nullopt;
+}
+
+const std::vector<std::string> &
+clusterNames()
+{
+    static const std::vector<std::string> names = {
+        "single24", "geo24", "hetero42", "planner10"};
+    return names;
+}
+
+const std::vector<std::string> &
+modelNames()
+{
+    static const std::vector<std::string> names = {
+        "llama30b", "llama70b", "gpt3-175b", "grok1-314b",
+        "llama3-405b"};
+    return names;
+}
+
+const std::vector<std::string> &
+plannerNames()
+{
+    static const std::vector<std::string> names = {
+        "helix", "helix-pruned", "swarm", "petals", "sp", "sp+",
+        "uniform"};
+    return names;
+}
+
+const std::vector<std::string> &
+schedulerNames()
+{
+    static const std::vector<std::string> names = {
+        "helix", "swarm", "random", "shortest-queue", "fixed-rr"};
+    return names;
 }
 
 } // namespace exp

@@ -170,7 +170,8 @@ std::optional<model::TransformerSpec> modelByName(
     const std::string &name);
 
 /**
- * "helix" (budgeted), "swarm", "petals", "sp", "sp+", "uniform".
+ * "helix" / "helix-pruned" (budgeted, the latter with bandwidth
+ * pruning), "swarm", "petals", "sp", "sp+", "uniform".
  * @return a fresh planner instance, or nullptr for unknown names.
  */
 std::unique_ptr<placement::Planner> plannerByName(
@@ -179,6 +180,16 @@ std::unique_ptr<placement::Planner> plannerByName(
 /** Scheduler kind from its toString name. */
 std::optional<SchedulerKind> schedulerKindByName(
     const std::string &name);
+
+/**
+ * Registry enumeration (for `helixctl list` and spec validation).
+ * Every returned name resolves through the matching *ByName lookup;
+ * tests/test_spec.cpp pins that invariant.
+ */
+const std::vector<std::string> &clusterNames();
+const std::vector<std::string> &modelNames();
+const std::vector<std::string> &plannerNames();
+const std::vector<std::string> &schedulerNames();
 
 } // namespace exp
 } // namespace helix

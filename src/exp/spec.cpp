@@ -1,0 +1,265 @@
+#include "exp/spec.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace helix {
+namespace exp {
+
+using io::joinNames;
+
+namespace {
+
+void
+setError(io::ParseError *error, int line, std::string message)
+{
+    if (error) {
+        error->line = line;
+        error->message = std::move(message);
+    }
+}
+
+/** A resolved planner+scheduler pair with its row label. */
+struct ResolvedSystem
+{
+    std::string label;
+    std::string planner;
+    SchedulerKind scheduler = SchedulerKind::Helix;
+};
+
+/**
+ * The systems a spec runs per (cluster, model): either its `system`
+ * lines verbatim, or the planner x scheduler cartesian product with
+ * "<planner>/<scheduler>" labels.
+ */
+std::vector<ResolvedSystem>
+resolveSystems(const io::ExperimentSpec &spec)
+{
+    std::vector<ResolvedSystem> systems;
+    if (!spec.systems.empty()) {
+        for (const io::SystemSpec &system : spec.systems) {
+            ResolvedSystem resolved;
+            resolved.label = system.label;
+            resolved.planner = system.planner;
+            resolved.scheduler =
+                *schedulerKindByName(system.scheduler);
+            systems.push_back(std::move(resolved));
+        }
+        return systems;
+    }
+    for (const io::SpecName &planner : spec.planners) {
+        for (const io::SpecName &sched : spec.schedulers) {
+            ResolvedSystem resolved;
+            resolved.label = planner.value + "/" + sched.value;
+            resolved.planner = planner.value;
+            resolved.scheduler = *schedulerKindByName(sched.value);
+            systems.push_back(std::move(resolved));
+        }
+    }
+    return systems;
+}
+
+} // namespace
+
+bool
+validateSpec(const io::ExperimentSpec &spec, io::ParseError *error)
+{
+    int min_nodes = -1;
+    for (const io::SpecName &name : spec.clusters) {
+        auto clus = clusterByName(name.value);
+        if (!clus) {
+            setError(error, name.line,
+                     "unknown cluster '" + name.value + "' (known: " +
+                         joinNames(clusterNames()) + ")");
+            return false;
+        }
+        if (min_nodes < 0 || clus->numNodes() < min_nodes)
+            min_nodes = clus->numNodes();
+    }
+    for (const io::SpecName &name : spec.models) {
+        if (!modelByName(name.value)) {
+            setError(error, name.line,
+                     "unknown model '" + name.value + "' (known: " +
+                         joinNames(modelNames()) + ")");
+            return false;
+        }
+    }
+    for (const io::SpecName &name : spec.planners) {
+        if (!plannerByName(name.value, 0.01)) {
+            setError(error, name.line,
+                     "unknown planner '" + name.value + "' (known: " +
+                         joinNames(plannerNames()) + ")");
+            return false;
+        }
+    }
+    for (const io::SpecName &name : spec.schedulers) {
+        if (!schedulerKindByName(name.value)) {
+            setError(error, name.line,
+                     "unknown scheduler '" + name.value +
+                         "' (known: " + joinNames(schedulerNames()) +
+                         ")");
+            return false;
+        }
+    }
+    for (const io::SystemSpec &system : spec.systems) {
+        if (!plannerByName(system.planner, 0.01)) {
+            setError(error, system.line,
+                     "system '" + system.label +
+                         "' names unknown planner '" + system.planner +
+                         "' (known: " + joinNames(plannerNames()) +
+                         ")");
+            return false;
+        }
+        if (!schedulerKindByName(system.scheduler)) {
+            setError(error, system.line,
+                     "system '" + system.label +
+                         "' names unknown scheduler '" +
+                         system.scheduler + "' (known: " +
+                         joinNames(schedulerNames()) + ")");
+            return false;
+        }
+    }
+    for (const io::ScenarioSpec &scenario : spec.scenarios) {
+        if (scenario.kind != "churn")
+            continue;
+        double node_value = scenario.get("node", -1.0);
+        if (node_value != std::floor(node_value)) {
+            setError(error, scenario.line,
+                     "churn node=" + std::to_string(node_value) +
+                         " must be an integer node index");
+            return false;
+        }
+        int node = static_cast<int>(node_value);
+        if (node < 0 || (min_nodes >= 0 && node >= min_nodes)) {
+            setError(error, scenario.line,
+                     "churn node index " + std::to_string(node) +
+                         " is out of range for the smallest declared "
+                         "cluster (" + std::to_string(min_nodes) +
+                         " nodes)");
+            return false;
+        }
+        double at = scenario.get("at", 0.3);
+        if (at < 0.0 || at > 1.0) {
+            setError(error, scenario.line,
+                     "churn at=" + std::to_string(at) +
+                         " must be a fraction of the run in [0, 1]");
+            return false;
+        }
+    }
+    return true;
+}
+
+RunConfig
+scenarioRunConfig(const io::ExperimentSpec &spec,
+                  const io::ScenarioSpec &scenario,
+                  double offline_peak)
+{
+    Scenario catalog;
+    if (scenario.kind == "offline") {
+        catalog = scenarios::offline();
+    } else if (scenario.kind == "online") {
+        catalog = scenarios::onlineDiurnal();
+    } else if (scenario.kind == "bursty") {
+        catalog = scenarios::bursty(scenario.get("multiplier", 5.0),
+                                    scenario.get("burst", 30.0),
+                                    scenario.get("gap", 270.0));
+    } else if (scenario.kind == "churn") {
+        catalog = scenarios::nodeChurn(
+            static_cast<int>(scenario.get("node", 0.0)),
+            scenario.get("at", 0.3),
+            scenario.get("online", 1.0) != 0.0);
+    } else { // online-peak
+        catalog.name = "online-peak";
+        catalog.online = true;
+    }
+    catalog.utilization = scenario.get("utilization", 0.0);
+
+    double warmup = scenario.get("warmup", spec.warmupS);
+    double measure = scenario.get("measure", spec.measureS);
+    uint64_t seed = static_cast<uint64_t>(
+        scenario.get("seed", static_cast<double>(spec.seed)));
+    RunConfig run = catalog.toRun(warmup, measure, seed);
+    if (scenario.kind == "online-peak") {
+        // Sec. 6.2: the online arrival rate is `fraction` of the
+        // measured offline peak, in requests/s of mean output length.
+        double fraction = scenario.get("fraction", 0.75);
+        run.requestRate = fraction * offline_peak /
+                          run.lengths.targetMeanOutput;
+    }
+    return run;
+}
+
+std::optional<std::vector<JobResult>>
+runSpec(const io::ExperimentSpec &spec, io::ParseError *error,
+        RunnerOptions options)
+{
+    if (!validateSpec(spec, error))
+        return std::nullopt;
+
+    if (options.numThreads <= 0)
+        options.numThreads = spec.threads;
+    ExperimentRunner runner(options);
+    std::vector<ResolvedSystem> systems = resolveSystems(spec);
+
+    std::vector<JobResult> results;
+    for (const io::SpecName &cluster_name : spec.clusters) {
+        auto clus = clusterByName(cluster_name.value);
+        for (const io::SpecName &model_name : spec.models) {
+            auto model_spec = modelByName(model_name.value);
+
+            // Plan each distinct planner once per (cluster, model);
+            // every system and scenario job naming it shares the
+            // deployment const (schedulers don't affect planning).
+            std::vector<std::string> planner_order;
+            std::vector<size_t> system_deployment(systems.size());
+            for (size_t i = 0; i < systems.size(); ++i) {
+                auto found = std::find(planner_order.begin(),
+                                       planner_order.end(),
+                                       systems[i].planner);
+                system_deployment[i] =
+                    static_cast<size_t>(found - planner_order.begin());
+                if (found == planner_order.end())
+                    planner_order.push_back(systems[i].planner);
+            }
+            std::vector<Deployment> deployments;
+            deployments.reserve(planner_order.size());
+            for (const std::string &planner_name : planner_order) {
+                auto planner = plannerByName(planner_name,
+                                             spec.plannerBudgetS);
+                deployments.emplace_back(*clus, *model_spec,
+                                         *planner);
+            }
+
+            double offline_peak = 0.0;
+            for (const io::ScenarioSpec &scenario : spec.scenarios) {
+                RunConfig run =
+                    scenarioRunConfig(spec, scenario, offline_peak);
+                std::vector<Job> jobs;
+                jobs.reserve(systems.size());
+                for (size_t i = 0; i < systems.size(); ++i) {
+                    Job job;
+                    job.label = cluster_name.value + "/" +
+                                model_name.value + "/" +
+                                systems[i].label + "/" +
+                                scenario.kind;
+                    job.deployment =
+                        &deployments[system_deployment[i]];
+                    job.scheduler = systems[i].scheduler;
+                    job.run = run;
+                    jobs.push_back(std::move(job));
+                }
+                std::vector<JobResult> batch = runner.run(jobs);
+                if (scenario.kind == "offline" && !batch.empty()) {
+                    offline_peak =
+                        batch.front().metrics.decodeThroughput;
+                }
+                for (JobResult &result : batch)
+                    results.push_back(std::move(result));
+            }
+        }
+    }
+    return results;
+}
+
+} // namespace exp
+} // namespace helix

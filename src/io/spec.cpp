@@ -1,0 +1,356 @@
+#include "io/spec.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace helix {
+namespace io {
+
+bool
+ScenarioSpec::has(const std::string &key) const
+{
+    for (const auto &option : options) {
+        if (option.first == key)
+            return true;
+    }
+    return false;
+}
+
+double
+ScenarioSpec::get(const std::string &key, double fallback) const
+{
+    for (const auto &option : options) {
+        if (option.first == key)
+            return option.second;
+    }
+    return fallback;
+}
+
+const std::vector<std::string> &
+scenarioKinds()
+{
+    static const std::vector<std::string> kinds = {
+        "offline", "online", "bursty", "churn", "online-peak"};
+    return kinds;
+}
+
+std::vector<std::string>
+scenarioOptionKeys(const std::string &kind)
+{
+    std::vector<std::string> keys = {"seed", "warmup", "measure"};
+    if (kind == "offline" || kind == "online") {
+        keys.push_back("utilization");
+    } else if (kind == "bursty") {
+        keys.insert(keys.end(),
+                    {"utilization", "multiplier", "burst", "gap"});
+    } else if (kind == "churn") {
+        keys.insert(keys.end(), {"utilization", "node", "at", "online"});
+    } else if (kind == "online-peak") {
+        keys.push_back("fraction");
+    }
+    return keys;
+}
+
+namespace {
+
+std::string
+num(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+} // namespace
+
+std::string
+experimentToString(const ExperimentSpec &spec)
+{
+    std::ostringstream out;
+    out << "experiment v1\n";
+    out << "name " << spec.name << "\n";
+    out << "output " << spec.output << "\n";
+    if (spec.threads != 0)
+        out << "threads " << spec.threads << "\n";
+    out << "seed " << spec.seed << "\n";
+    out << "warmup " << num(spec.warmupS) << "\n";
+    out << "measure " << num(spec.measureS) << "\n";
+    out << "planner-budget " << num(spec.plannerBudgetS) << "\n";
+    for (const SpecName &name : spec.clusters)
+        out << "cluster " << name.value << "\n";
+    for (const SpecName &name : spec.models)
+        out << "model " << name.value << "\n";
+    for (const SpecName &name : spec.planners)
+        out << "planner " << name.value << "\n";
+    for (const SpecName &name : spec.schedulers)
+        out << "scheduler " << name.value << "\n";
+    for (const SystemSpec &system : spec.systems) {
+        out << "system " << system.label << " " << system.planner
+            << " " << system.scheduler << "\n";
+    }
+    for (const ScenarioSpec &scenario : spec.scenarios) {
+        out << "scenario " << scenario.kind;
+        for (const auto &option : scenario.options)
+            out << " " << option.first << "=" << num(option.second);
+        out << "\n";
+    }
+    return out.str();
+}
+
+std::optional<ExperimentSpec>
+experimentFromString(const std::string &text, ParseError &error)
+{
+    LineReader reader(text);
+    if (!checkHeader(reader, "experiment", 0, error))
+        return std::nullopt;
+
+    ExperimentSpec spec;
+    std::map<std::string, int> seen_scalar;
+    auto scalar_once = [&](const std::string &tag, int line) {
+        auto inserted = seen_scalar.emplace(tag, line);
+        if (!inserted.second) {
+            error = {line,
+                     "duplicate '" + tag + "' directive (first on line " +
+                         std::to_string(inserted.first->second) + ")"};
+            return false;
+        }
+        return true;
+    };
+    auto want_args = [&](const std::vector<std::string> &toks,
+                         size_t n, const std::string &usage) {
+        if (toks.size() == n + 1)
+            return true;
+        error = {reader.line(), "'" + toks[0] + "' needs " +
+                                    std::to_string(n) +
+                                    " argument(s): " + usage};
+        return false;
+    };
+
+    while (reader.next()) {
+        const auto &toks = reader.tokens();
+        const std::string &tag = toks[0];
+        const int line = reader.line();
+        if (tag == "name") {
+            if (!want_args(toks, 1, "name <identifier>") ||
+                !scalar_once(tag, line))
+                return std::nullopt;
+            spec.name = toks[1];
+        } else if (tag == "output") {
+            if (!want_args(toks, 1, "output <csv|json>") ||
+                !scalar_once(tag, line))
+                return std::nullopt;
+            if (toks[1] != "csv" && toks[1] != "json") {
+                error = {line, "output must be 'csv' or 'json', got '" +
+                                   toks[1] + "'"};
+                return std::nullopt;
+            }
+            spec.output = toks[1];
+        } else if (tag == "threads") {
+            if (!want_args(toks, 1, "threads <count>") ||
+                !scalar_once(tag, line))
+                return std::nullopt;
+            if (!parseInt(toks[1], spec.threads) || spec.threads < 0) {
+                error = {line, "threads must be a non-negative "
+                               "integer, got '" + toks[1] + "'"};
+                return std::nullopt;
+            }
+        } else if (tag == "seed") {
+            if (!want_args(toks, 1, "seed <uint64>") ||
+                !scalar_once(tag, line))
+                return std::nullopt;
+            if (!parseU64(toks[1], spec.seed)) {
+                error = {line, "seed must be an unsigned integer, "
+                               "got '" + toks[1] + "'"};
+                return std::nullopt;
+            }
+        } else if (tag == "warmup" || tag == "measure" ||
+                   tag == "planner-budget") {
+            if (!want_args(toks, 1, "<seconds>") ||
+                !scalar_once(tag, line))
+                return std::nullopt;
+            double value = 0.0;
+            if (!parseDouble(toks[1], value) || value < 0.0) {
+                error = {line, "'" + tag + "' must be a non-negative "
+                               "number of seconds, got '" + toks[1] +
+                               "'"};
+                return std::nullopt;
+            }
+            if (tag == "warmup")
+                spec.warmupS = value;
+            else if (tag == "measure")
+                spec.measureS = value;
+            else
+                spec.plannerBudgetS = value;
+        } else if (tag == "cluster" || tag == "model" ||
+                   tag == "planner" || tag == "scheduler") {
+            if (!want_args(toks, 1, tag + " <registry-name>"))
+                return std::nullopt;
+            if ((tag == "planner" || tag == "scheduler") &&
+                !spec.systems.empty()) {
+                error = {line,
+                         "cannot mix '" + tag + "' axes with 'system' "
+                         "lines (first system on line " +
+                             std::to_string(spec.systems.front().line) +
+                             ")"};
+                return std::nullopt;
+            }
+            SpecName name{toks[1], line};
+            if (tag == "cluster")
+                spec.clusters.push_back(std::move(name));
+            else if (tag == "model")
+                spec.models.push_back(std::move(name));
+            else if (tag == "planner")
+                spec.planners.push_back(std::move(name));
+            else
+                spec.schedulers.push_back(std::move(name));
+        } else if (tag == "system") {
+            if (!want_args(toks, 3,
+                           "system <label> <planner> <scheduler>"))
+                return std::nullopt;
+            if (!spec.planners.empty() || !spec.schedulers.empty()) {
+                int axis_line = spec.planners.empty()
+                                    ? spec.schedulers.front().line
+                                    : spec.planners.front().line;
+                error = {line,
+                         "cannot mix 'system' lines with "
+                         "planner/scheduler axes (first axis on line " +
+                             std::to_string(axis_line) + ")"};
+                return std::nullopt;
+            }
+            spec.systems.push_back({toks[1], toks[2], toks[3], line});
+        } else if (tag == "scenario") {
+            if (toks.size() < 2) {
+                error = {line, "'scenario' needs a kind: scenario "
+                               "<kind> [key=value ...]"};
+                return std::nullopt;
+            }
+            ScenarioSpec scenario;
+            scenario.kind = toks[1];
+            scenario.line = line;
+            const auto &kinds = scenarioKinds();
+            if (std::find(kinds.begin(), kinds.end(), scenario.kind) ==
+                kinds.end()) {
+                error = {line, "unknown scenario kind '" +
+                                   scenario.kind + "' (known: " +
+                                   joinNames(kinds) + ")"};
+                return std::nullopt;
+            }
+            std::vector<std::string> known =
+                scenarioOptionKeys(scenario.kind);
+            for (size_t i = 2; i < toks.size(); ++i) {
+                size_t eq = toks[i].find('=');
+                if (eq == std::string::npos || eq == 0) {
+                    error = {line, "scenario option '" + toks[i] +
+                                       "' is not key=value"};
+                    return std::nullopt;
+                }
+                std::string key = toks[i].substr(0, eq);
+                if (std::find(known.begin(), known.end(), key) ==
+                    known.end()) {
+                    error = {line, "scenario '" + scenario.kind +
+                                       "' does not take option '" +
+                                       key + "' (known: " +
+                                       joinNames(known) + ")"};
+                    return std::nullopt;
+                }
+                if (scenario.has(key)) {
+                    error = {line, "duplicate scenario option '" +
+                                       key + "'"};
+                    return std::nullopt;
+                }
+                const std::string raw = toks[i].substr(eq + 1);
+                double value = 0.0;
+                if (key == "seed") {
+                    // Seeds route through the double-valued option
+                    // table; cap them at 2^53 so the round trip is
+                    // exact and never silently shifts the RNG stream.
+                    uint64_t seed_value = 0;
+                    if (!parseU64(raw, seed_value)) {
+                        error = {line, "scenario option 'seed' has "
+                                       "non-numeric value '" +
+                                           raw + "'"};
+                        return std::nullopt;
+                    }
+                    if (seed_value > (uint64_t{1} << 53)) {
+                        error = {line,
+                                 "scenario option 'seed' exceeds "
+                                 "2^53 and would lose precision; use "
+                                 "the top-level 'seed' directive"};
+                        return std::nullopt;
+                    }
+                    value = static_cast<double>(seed_value);
+                } else if (!parseDouble(raw, value)) {
+                    error = {line, "scenario option '" + key +
+                                       "' has non-numeric value '" +
+                                       raw + "'"};
+                    return std::nullopt;
+                }
+                scenario.options.emplace_back(std::move(key), value);
+            }
+            if (scenario.kind == "churn" && !scenario.has("node")) {
+                error = {line,
+                         "churn scenario requires node=<index>"};
+                return std::nullopt;
+            }
+            spec.scenarios.push_back(std::move(scenario));
+        } else {
+            error = {line, "unknown directive '" + tag + "'"};
+            return std::nullopt;
+        }
+    }
+
+    if (spec.clusters.empty()) {
+        error = {0, "spec declares no 'cluster' lines"};
+        return std::nullopt;
+    }
+    if (spec.models.empty()) {
+        error = {0, "spec declares no 'model' lines"};
+        return std::nullopt;
+    }
+    if (spec.systems.empty() && spec.planners.empty() &&
+        spec.schedulers.empty()) {
+        error = {0, "spec declares no 'system' lines and no "
+                    "planner/scheduler axes"};
+        return std::nullopt;
+    }
+    if (spec.systems.empty()) {
+        if (spec.planners.empty()) {
+            error = {spec.schedulers.front().line,
+                     "cartesian mode needs at least one 'planner'"};
+            return std::nullopt;
+        }
+        if (spec.schedulers.empty()) {
+            error = {spec.planners.front().line,
+                     "cartesian mode needs at least one 'scheduler'"};
+            return std::nullopt;
+        }
+    }
+    if (spec.scenarios.empty()) {
+        error = {0, "spec declares no 'scenario' lines"};
+        return std::nullopt;
+    }
+    bool offline_seen = false;
+    for (const ScenarioSpec &scenario : spec.scenarios) {
+        if (scenario.kind == "offline")
+            offline_seen = true;
+        if (scenario.kind == "online-peak" && !offline_seen) {
+            error = {scenario.line,
+                     "online-peak needs an earlier offline scenario "
+                     "to derive its arrival rate from"};
+            return std::nullopt;
+        }
+    }
+    return spec;
+}
+
+std::optional<ExperimentSpec>
+experimentFromString(const std::string &text)
+{
+    ParseError ignored;
+    return experimentFromString(text, ignored);
+}
+
+} // namespace io
+} // namespace helix

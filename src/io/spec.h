@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The `experiment v1` declarative experiment-spec format.
+ *
+ * An experiment spec is a line-oriented text file (same grammar family
+ * as `cluster v1` / `trace v1`: one record per line, `#` comments,
+ * whitespace-separated tokens) that names every part of a sweep via
+ * the src/exp registries instead of compiled code:
+ *
+ *   experiment v1
+ *   name fig6
+ *   seed 42
+ *   warmup 1              # seconds excluded from metrics
+ *   measure 3             # measurement window, seconds
+ *   planner-budget 0.05   # wall-clock budget for budgeted planners
+ *   output csv            # csv | json
+ *   cluster single24      # sweep axis: cluster registry names
+ *   model llama30b        # sweep axis: model registry names
+ *   system helix helix helix        # label, planner, scheduler
+ *   system swarm swarm swarm        # (paired planner+scheduler)
+ *   scenario offline
+ *   scenario online-peak fraction=0.75 seed=43
+ *
+ * Job generation is either *paired* (`system` lines: each declares a
+ * labeled planner+scheduler pair, as the paper's figure comparisons
+ * do) or *cartesian* (`planner` and `scheduler` axis lines, crossed
+ * like exp::SweepConfig). Scenario lines carry `key=value` options
+ * inline (see docs/SCENARIOS.md for the catalog and semantics).
+ *
+ * This header is pure syntax: names are kept as strings with their
+ * source lines. Registry resolution and execution live in
+ * src/exp/spec.h, so `helixctl validate` can report line-numbered
+ * errors for unknown names as well as grammar violations.
+ */
+
+#ifndef HELIX_IO_SPEC_H
+#define HELIX_IO_SPEC_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "io/serialization.h"
+
+namespace helix {
+namespace io {
+
+/** A registry name plus the spec line it came from. */
+struct SpecName
+{
+    std::string value;
+    int line = 0;
+
+    bool operator==(const SpecName &other) const
+    {
+        return value == other.value;
+    }
+};
+
+/** One `system <label> <planner> <scheduler>` line. */
+struct SystemSpec
+{
+    std::string label;
+    std::string planner;
+    std::string scheduler;
+    int line = 0;
+};
+
+/** One `scenario <kind> [key=value ...]` line. */
+struct ScenarioSpec
+{
+    std::string kind;
+    /** Options in declaration order (serialization round-trips). */
+    std::vector<std::pair<std::string, double>> options;
+    int line = 0;
+
+    bool has(const std::string &key) const;
+    double get(const std::string &key, double fallback) const;
+};
+
+/** A parsed `experiment v1` file. */
+struct ExperimentSpec
+{
+    std::string name = "experiment";
+    /** Emitter for `helixctl run`: "csv" or "json". */
+    std::string output = "csv";
+    /** Worker threads (0 = hardware concurrency). */
+    int threads = 0;
+    uint64_t seed = 42;
+    /** Default warmup/measure windows, overridable per scenario. */
+    double warmupS = 30.0;
+    double measureS = 120.0;
+    /** Wall-clock budget handed to budgeted planners. */
+    double plannerBudgetS = 2.0;
+
+    std::vector<SpecName> clusters;
+    std::vector<SpecName> models;
+    /** Cartesian axes; mutually exclusive with `systems`. */
+    std::vector<SpecName> planners;
+    std::vector<SpecName> schedulers;
+    /** Paired mode; mutually exclusive with planner/scheduler axes. */
+    std::vector<SystemSpec> systems;
+    std::vector<ScenarioSpec> scenarios;
+};
+
+/** Serialize a spec (comments are not preserved). */
+std::string experimentToString(const ExperimentSpec &spec);
+
+/**
+ * Parse an `experiment v1` file. Grammar-level validation only (the
+ * header, directive arity, numeric fields, known directives, known
+ * scenario kinds, paired-vs-cartesian exclusivity, and the presence
+ * of clusters/models/scenarios and a planner source). Registry names
+ * are not resolved here; see exp::validateSpec.
+ */
+std::optional<ExperimentSpec> experimentFromString(
+    const std::string &text, ParseError &error);
+
+/** As above, discarding the error detail. */
+std::optional<ExperimentSpec> experimentFromString(
+    const std::string &text);
+
+/** The scenario kinds the format accepts (see docs/SCENARIOS.md). */
+const std::vector<std::string> &scenarioKinds();
+
+/** Option keys accepted by @p kind (common keys included). */
+std::vector<std::string> scenarioOptionKeys(const std::string &kind);
+
+} // namespace io
+} // namespace helix
+
+#endif // HELIX_IO_SPEC_H

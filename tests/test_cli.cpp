@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Integration tests for the helixctl binary: the tests spawn the real
+ * CLI (path from $HELIXCTL_BIN, wired by CTest) and check its
+ * behavior against the in-process engine — including the acceptance
+ * criterion that `helixctl run` on the fig6-equivalent golden spec
+ * emits results byte-identical (modulo the wall-clock column) to the
+ * library path the compiled figure benches use.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "exp/spec.h"
+#include "io/serialization.h"
+#include "io/spec.h"
+#include "placement/placement_graph.h"
+
+namespace helix {
+namespace {
+
+std::string
+dataPath(const std::string &name)
+{
+    return std::string(HELIX_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string
+examplePath(const std::string &name)
+{
+    return std::string(HELIX_EXAMPLES_DIR) + "/" + name;
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + "helixctl_" +
+           std::to_string(::getpid()) + "_" + name;
+}
+
+struct CmdResult
+{
+    int exitCode = -1;
+    std::string out;
+    std::string err;
+};
+
+/** Run `helixctl <args>`, capturing exit code, stdout, and stderr. */
+CmdResult
+helixctl(const std::string &args)
+{
+    const char *bin = std::getenv("HELIXCTL_BIN");
+    EXPECT_NE(bin, nullptr);
+    CmdResult result;
+    std::string out_path = tempPath("stdout.txt");
+    std::string err_path = tempPath("stderr.txt");
+    std::string cmd = std::string(bin) + " " + args + " > " +
+                      out_path + " 2> " + err_path;
+    int rc = std::system(cmd.c_str());
+    result.exitCode = WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+    result.out = io::readFile(out_path).value_or("");
+    result.err = io::readFile(err_path).value_or("");
+    std::remove(out_path.c_str());
+    std::remove(err_path.c_str());
+    return result;
+}
+
+class CliTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        if (!std::getenv("HELIXCTL_BIN")) {
+            GTEST_SKIP() << "HELIXCTL_BIN not set (run under CTest)";
+        }
+    }
+};
+
+TEST_F(CliTest, ValidateAcceptsShippedExamples)
+{
+    CmdResult result = helixctl("validate " +
+                                examplePath("fig6.exp") + " " +
+                                examplePath("sweep.exp"));
+    EXPECT_EQ(result.exitCode, 0) << result.err;
+    EXPECT_NE(result.out.find("fig6.exp: OK"), std::string::npos)
+        << result.out;
+    EXPECT_NE(result.out.find("sweep.exp: OK"), std::string::npos)
+        << result.out;
+}
+
+TEST_F(CliTest, ValidateReportsLineNumberedErrors)
+{
+    std::string bad_path = tempPath("bad.exp");
+    ASSERT_TRUE(io::writeFile(bad_path,
+                              "experiment v1\n"
+                              "cluster nimbus9000\n"
+                              "model llama30b\n"
+                              "system a swarm helix\n"
+                              "scenario offline\n"));
+    CmdResult result = helixctl("validate " + bad_path);
+    EXPECT_EQ(result.exitCode, 1);
+    EXPECT_NE(result.err.find(bad_path + ":2: unknown cluster "
+                              "'nimbus9000'"),
+              std::string::npos)
+        << result.err;
+
+    // A grammar-level error reports its line the same way.
+    ASSERT_TRUE(io::writeFile(bad_path,
+                              "experiment v1\n"
+                              "cluster planner10\n"
+                              "model llama30b\n"
+                              "system a swarm helix\n"
+                              "scenario rushhour\n"));
+    result = helixctl("validate " + bad_path);
+    EXPECT_EQ(result.exitCode, 1);
+    EXPECT_NE(result.err.find(bad_path + ":5: unknown scenario kind "
+                              "'rushhour'"),
+              std::string::npos)
+        << result.err;
+    std::remove(bad_path.c_str());
+}
+
+/** Drop the trailing wall_seconds column from every CSV line. */
+std::vector<std::string>
+csvWithoutWallSeconds(const std::string &csv)
+{
+    std::vector<std::string> lines;
+    std::istringstream in(csv);
+    std::string line;
+    while (std::getline(in, line)) {
+        size_t comma = line.rfind(',');
+        EXPECT_NE(comma, std::string::npos) << line;
+        lines.push_back(line.substr(0, comma));
+    }
+    return lines;
+}
+
+/**
+ * Acceptance: `helixctl run` on the fig6-equivalent golden spec
+ * (tests/data/fig6_smoke.exp — the examples/fig6.exp structure with
+ * deterministic planners) reproduces the comparison with every
+ * metric field byte-identical to the in-process engine that the
+ * compiled fig6 bench runs on (wall-clock timings excluded; the
+ * helix planner itself is excluded because its placements depend on
+ * a wall-clock search budget — see test_spec.cpp for the in-process
+ * equivalence of the full engine against the direct runner path).
+ */
+TEST_F(CliTest, RunEmitsCsvByteIdenticalToTheEngine)
+{
+    std::string csv_path = tempPath("fig6.csv");
+    CmdResult result = helixctl("run " + dataPath("fig6_smoke.exp") +
+                                " --csv " + csv_path);
+    ASSERT_EQ(result.exitCode, 0) << result.err;
+    EXPECT_NE(result.out.find("experiment 'fig6-smoke': 4 runs"),
+              std::string::npos)
+        << result.out;
+    auto cli_csv = io::readFile(csv_path);
+    std::remove(csv_path.c_str());
+    ASSERT_TRUE(cli_csv.has_value());
+
+    auto text = io::readFile(dataPath("fig6_smoke.exp"));
+    ASSERT_TRUE(text.has_value());
+    auto spec = io::experimentFromString(*text);
+    ASSERT_TRUE(spec.has_value());
+    auto results = exp::runSpec(*spec);
+    ASSERT_TRUE(results.has_value());
+    std::string engine_csv = exp::resultsToCsv(*results);
+
+    auto cli_lines = csvWithoutWallSeconds(*cli_csv);
+    auto engine_lines = csvWithoutWallSeconds(engine_csv);
+    ASSERT_EQ(cli_lines.size(), engine_lines.size());
+    ASSERT_EQ(cli_lines.size(), 5u); // header + 4 runs
+    for (size_t i = 0; i < cli_lines.size(); ++i)
+        EXPECT_EQ(cli_lines[i], engine_lines[i]) << "line " << i;
+}
+
+TEST_F(CliTest, RunRespectsSpecOutputOnStdout)
+{
+    // sweep-style spec with output json and a '-' emitter goes to
+    // stdout as JSON.
+    std::string spec_path = tempPath("mini.exp");
+    ASSERT_TRUE(io::writeFile(spec_path,
+                              "experiment v1\n"
+                              "name mini\noutput json\n"
+                              "warmup 1\nmeasure 1\n"
+                              "planner-budget 0.05\n"
+                              "cluster planner10\nmodel llama30b\n"
+                              "system sw swarm helix\n"
+                              "scenario offline\n"));
+    CmdResult result = helixctl("run " + spec_path + " --json -");
+    EXPECT_EQ(result.exitCode, 0) << result.err;
+    EXPECT_EQ(result.out.rfind("[", 0), 0u) << result.out;
+    EXPECT_NE(result.out.find("\"label\": "
+                              "\"planner10/llama30b/sw/offline\""),
+              std::string::npos)
+        << result.out;
+    std::remove(spec_path.c_str());
+}
+
+TEST_F(CliTest, PlanWritesAValidPlacementArtifact)
+{
+    std::string out_path = tempPath("placement.txt");
+    CmdResult result = helixctl(
+        "plan planner10 llama30b --planner swarm --out " + out_path);
+    ASSERT_EQ(result.exitCode, 0) << result.err;
+    auto text = io::readFile(out_path);
+    std::remove(out_path.c_str());
+    ASSERT_TRUE(text.has_value());
+
+    io::ParseError error;
+    auto placement = io::placementFromString(*text, error);
+    ASSERT_TRUE(placement.has_value()) << error.str();
+
+    // The artifact matches an in-process swarm plan byte-for-byte
+    // and is valid for the cluster it was planned on.
+    auto clus = exp::clusterByName("planner10");
+    auto model_spec = exp::modelByName("llama30b");
+    ASSERT_TRUE(clus && model_spec);
+    cluster::Profiler prof(*model_spec);
+    auto planner = exp::plannerByName("swarm", 0.05);
+    EXPECT_EQ(*text, io::placementToString(planner->plan(*clus, prof)));
+    EXPECT_TRUE(placement::placementValid(*placement, *clus, prof));
+}
+
+TEST_F(CliTest, ListDumpsEveryRegistry)
+{
+    CmdResult result = helixctl("list");
+    EXPECT_EQ(result.exitCode, 0);
+    for (const char *needle :
+         {"single24", "hetero42", "llama30b", "llama3-405b",
+          "helix-pruned", "uniform", "shortest-queue", "offline",
+          "online-peak", "churn"}) {
+        EXPECT_NE(result.out.find(needle), std::string::npos)
+            << needle;
+    }
+}
+
+TEST_F(CliTest, UsageAndFailureExitCodes)
+{
+    EXPECT_EQ(helixctl("").exitCode, 2);
+    EXPECT_EQ(helixctl("frobnicate").exitCode, 2);
+    EXPECT_EQ(helixctl("run").exitCode, 2);
+    EXPECT_EQ(helixctl("run /nonexistent/spec.exp").exitCode, 1);
+    EXPECT_EQ(helixctl("run x.exp --threads abc").exitCode, 2);
+    EXPECT_EQ(helixctl("plan planner10 llama30b --budget abc")
+                  .exitCode,
+              2);
+    EXPECT_EQ(helixctl("plan nimbus9000 llama30b").exitCode, 1);
+    EXPECT_EQ(helixctl("validate /nonexistent/spec.exp").exitCode, 1);
+}
+
+} // namespace
+} // namespace helix

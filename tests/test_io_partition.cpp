@@ -63,17 +63,19 @@ TEST(IoCluster, RejectsMalformedInput)
                      .has_value());
 }
 
-TEST(IoCluster, NamesWithSpacesEscaped)
+TEST(IoCluster, NamesWithSpacesAndHashesEscaped)
 {
     cluster::ClusterSpec clus;
     cluster::NodeSpec node;
     node.name = "my node";
     node.gpu = cluster::gpus::t4();
+    node.gpu.name = "RTX#4090"; // '#' would start a comment
     clus.addNode(std::move(node));
     clus.setUniformLinks(1e9, 1e-3);
     auto parsed = io::clusterFromString(io::clusterToString(clus));
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(parsed->node(0).name, "my_node");
+    EXPECT_EQ(parsed->node(0).gpu.name, "RTX_4090");
 }
 
 TEST(IoPlacement, RoundTrips)
@@ -119,6 +121,126 @@ TEST(IoTrace, RejectsMalformed)
                      .has_value());
     EXPECT_FALSE(io::traceFromString("trace v1 1\n0 0.0 -5 10\n")
                      .has_value());
+}
+
+// --- Structured ParseError reporting --------------------------------
+
+TEST(IoParseErrors, ClusterReportsExactLineAndMessage)
+{
+    io::ParseError error;
+    EXPECT_FALSE(io::clusterFromString("", error).has_value());
+    EXPECT_EQ(error.line, 0);
+    EXPECT_EQ(error.message,
+              "empty input; expected 'cluster v1' header");
+
+    EXPECT_FALSE(io::clusterFromString("cluster v2\n", error));
+    EXPECT_EQ(error.line, 1);
+    EXPECT_EQ(error.message,
+              "cluster version 'v2' not supported (expected v1)");
+
+    EXPECT_FALSE(io::clusterFromString(
+        "cluster v1\n"
+        "node a T4 65 16 300 70 1 0\n"
+        "bogus\n",
+        error));
+    EXPECT_EQ(error.line, 3);
+    EXPECT_EQ(error.message,
+              "unknown record 'bogus' (expected 'node' or 'link')");
+
+    EXPECT_FALSE(io::clusterFromString("cluster v1\n"
+                                       "node incomplete\n",
+                                       error));
+    EXPECT_EQ(error.line, 2);
+    EXPECT_EQ(error.message,
+              "node record needs 8 fields (name gpu tflops memGiB "
+              "bwGBs powerW gpus region), got 1");
+
+    EXPECT_FALSE(io::clusterFromString(
+        "cluster v1\n"
+        "node a T4 sixty-five 16 300 70 1 0\n",
+        error));
+    EXPECT_EQ(error.line, 2);
+    EXPECT_EQ(error.message, "node record has a non-numeric field");
+
+    // Comments and blank lines don't shift reported line numbers.
+    EXPECT_FALSE(io::clusterFromString(
+        "cluster v1\n"
+        "# a comment\n"
+        "node a T4 65 16 300 70 1 0\n"
+        "\n"
+        "link 0 7 1e9 0.001\n",
+        error));
+    EXPECT_EQ(error.line, 5);
+    EXPECT_EQ(error.message,
+              "link endpoints 0 -> 7 out of range for 1 nodes");
+    EXPECT_EQ(error.str(),
+              "line 5: link endpoints 0 -> 7 out of range for 1 "
+              "nodes");
+}
+
+TEST(IoParseErrors, PlacementReportsExactLineAndMessage)
+{
+    io::ParseError error;
+    EXPECT_FALSE(io::placementFromString("placement v1 2\n0 4\n",
+                                         error));
+    EXPECT_EQ(error.line, 1);
+    EXPECT_EQ(error.message, "expected 2 node lines, got 1");
+
+    EXPECT_FALSE(io::placementFromString("placement v1 1\n-2 4\n",
+                                         error));
+    EXPECT_EQ(error.line, 2);
+    EXPECT_EQ(error.message,
+              "placement start/count must be non-negative");
+
+    EXPECT_FALSE(io::placementFromString("placement v1 1\n0 4\n5 5\n",
+                                         error));
+    EXPECT_EQ(error.line, 3);
+    EXPECT_EQ(error.message, "trailing content after 1 node lines");
+
+    EXPECT_FALSE(io::placementFromString("placement v1 many\n",
+                                         error));
+    EXPECT_EQ(error.line, 1);
+    EXPECT_EQ(error.message, "invalid node count 'many'");
+}
+
+TEST(IoParseErrors, TraceReportsExactLineAndMessage)
+{
+    io::ParseError error;
+    EXPECT_FALSE(io::traceFromString("trace v1 5\n0 0.0 10\n",
+                                     error));
+    EXPECT_EQ(error.line, 2);
+    EXPECT_EQ(error.message,
+              "request line needs '<id> <arrivalS> <promptLen> "
+              "<outputLen>'");
+
+    EXPECT_FALSE(io::traceFromString("trace v1 1\n0 0.0 -5 10\n",
+                                     error));
+    EXPECT_EQ(error.line, 2);
+    EXPECT_EQ(error.message,
+              "prompt/output lengths must be non-negative");
+
+    EXPECT_FALSE(io::traceFromString("trace v1\n", error));
+    EXPECT_EQ(error.line, 1);
+    EXPECT_EQ(error.message,
+              "malformed header: expected 'trace v1 <count>'");
+}
+
+TEST(IoParseErrors, CommentsAndBlankLinesAreAccepted)
+{
+    auto parsed = io::clusterFromString(
+        "# generated artifact\n"
+        "cluster v1\n"
+        "\n"
+        "node a T4 65 16 300 70 1 0   # the only node\n");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->numNodes(), 1);
+    EXPECT_EQ(parsed->node(0).name, "a");
+
+    auto trace_parsed = io::traceFromString("trace v1 1\n"
+                                            "# id arrival p o\n"
+                                            "0 0.5 10 20\n");
+    ASSERT_TRUE(trace_parsed.has_value());
+    EXPECT_EQ((*trace_parsed)[0].promptLen, 10);
 }
 
 TEST(IoFiles, WriteAndReadBack)

@@ -1,0 +1,674 @@
+/**
+ * @file
+ * Tests for the `experiment v1` spec format (src/io/spec.h) and its
+ * resolution/execution semantics (src/exp/spec.h): serialization
+ * round trips, golden files under tests/data/, exact line/message
+ * assertions on malformed input, registry enumeration invariants,
+ * and byte-identity between the spec engine and a direct
+ * experiment-runner replication of the figure-bench path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "exp/spec.h"
+#include "io/serialization.h"
+#include "io/spec.h"
+
+namespace helix {
+namespace {
+
+std::string
+dataPath(const std::string &name)
+{
+    return std::string(HELIX_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string
+examplePath(const std::string &name)
+{
+    return std::string(HELIX_EXAMPLES_DIR) + "/" + name;
+}
+
+/** Parse failure helper: assert exact {line, message}. */
+void
+expectSpecError(const std::string &text, int line,
+                const std::string &message)
+{
+    io::ParseError error;
+    auto spec = io::experimentFromString(text, error);
+    EXPECT_FALSE(spec.has_value()) << text;
+    EXPECT_EQ(error.line, line) << text;
+    EXPECT_EQ(error.message, message) << text;
+}
+
+void
+expectMetricsIdentical(const sim::SimMetrics &a,
+                       const sim::SimMetrics &b)
+{
+    EXPECT_EQ(a.decodeThroughput, b.decodeThroughput);
+    EXPECT_EQ(a.promptThroughput, b.promptThroughput);
+    EXPECT_EQ(a.requestsArrived, b.requestsArrived);
+    EXPECT_EQ(a.requestsAdmitted, b.requestsAdmitted);
+    EXPECT_EQ(a.requestsCompleted, b.requestsCompleted);
+    EXPECT_EQ(a.requestsRejected, b.requestsRejected);
+    EXPECT_EQ(a.requestsRestarted, b.requestsRestarted);
+    EXPECT_EQ(a.decodeTokensInWindow, b.decodeTokensInWindow);
+    EXPECT_EQ(a.promptTokensInWindow, b.promptTokensInWindow);
+    EXPECT_EQ(a.avgKvUtilization, b.avgKvUtilization);
+    EXPECT_EQ(a.promptLatency.count(), b.promptLatency.count());
+    EXPECT_EQ(a.promptLatency.mean(), b.promptLatency.mean());
+    EXPECT_EQ(a.promptLatency.percentile(95),
+              b.promptLatency.percentile(95));
+    EXPECT_EQ(a.decodeLatency.count(), b.decodeLatency.count());
+    EXPECT_EQ(a.decodeLatency.mean(), b.decodeLatency.mean());
+    EXPECT_EQ(a.decodeLatency.percentile(95),
+              b.decodeLatency.percentile(95));
+}
+
+// --- Parsing: golden files ------------------------------------------
+
+TEST(SpecGolden, Fig6SmokeParsesToTheBenchStructure)
+{
+    auto text = io::readFile(dataPath("fig6_smoke.exp"));
+    ASSERT_TRUE(text.has_value());
+    io::ParseError error;
+    auto spec = io::experimentFromString(*text, error);
+    ASSERT_TRUE(spec.has_value()) << error.str();
+
+    EXPECT_EQ(spec->name, "fig6-smoke");
+    EXPECT_EQ(spec->output, "csv");
+    EXPECT_EQ(spec->threads, 0);
+    EXPECT_EQ(spec->seed, 42u);
+    EXPECT_DOUBLE_EQ(spec->warmupS, 1.0);
+    EXPECT_DOUBLE_EQ(spec->measureS, 3.0);
+    EXPECT_DOUBLE_EQ(spec->plannerBudgetS, 0.05);
+    ASSERT_EQ(spec->clusters.size(), 1u);
+    EXPECT_EQ(spec->clusters[0].value, "single24");
+    ASSERT_EQ(spec->models.size(), 1u);
+    EXPECT_EQ(spec->models[0].value, "llama30b");
+    ASSERT_EQ(spec->systems.size(), 2u);
+    EXPECT_EQ(spec->systems[0].label, "swarm");
+    EXPECT_EQ(spec->systems[0].planner, "swarm");
+    EXPECT_EQ(spec->systems[0].scheduler, "swarm");
+    EXPECT_EQ(spec->systems[1].label, "sp");
+    EXPECT_EQ(spec->systems[1].planner, "sp");
+    EXPECT_EQ(spec->systems[1].scheduler, "fixed-rr");
+    ASSERT_EQ(spec->scenarios.size(), 2u);
+    EXPECT_EQ(spec->scenarios[0].kind, "offline");
+    EXPECT_TRUE(spec->scenarios[0].options.empty());
+    EXPECT_EQ(spec->scenarios[1].kind, "online-peak");
+    EXPECT_DOUBLE_EQ(spec->scenarios[1].get("fraction", 0), 0.75);
+    EXPECT_DOUBLE_EQ(spec->scenarios[1].get("seed", 0), 43.0);
+
+    EXPECT_TRUE(exp::validateSpec(*spec, &error)) << error.str();
+}
+
+TEST(SpecGolden, SweepAxesParsesToCartesianMode)
+{
+    auto text = io::readFile(dataPath("sweep_axes.exp"));
+    ASSERT_TRUE(text.has_value());
+    io::ParseError error;
+    auto spec = io::experimentFromString(*text, error);
+    ASSERT_TRUE(spec.has_value()) << error.str();
+
+    EXPECT_EQ(spec->name, "axes-golden");
+    EXPECT_EQ(spec->output, "json");
+    EXPECT_EQ(spec->threads, 2);
+    EXPECT_EQ(spec->seed, 7u);
+    EXPECT_TRUE(spec->systems.empty());
+    ASSERT_EQ(spec->planners.size(), 2u);
+    ASSERT_EQ(spec->schedulers.size(), 2u);
+    ASSERT_EQ(spec->scenarios.size(), 4u);
+    EXPECT_DOUBLE_EQ(spec->scenarios[0].get("utilization", 0), 2.5);
+    EXPECT_DOUBLE_EQ(spec->scenarios[2].get("multiplier", 0), 4.0);
+    EXPECT_DOUBLE_EQ(spec->scenarios[3].get("node", -1), 1.0);
+    EXPECT_DOUBLE_EQ(spec->scenarios[3].get("online", 1), 0.0);
+
+    EXPECT_TRUE(exp::validateSpec(*spec, &error)) << error.str();
+}
+
+TEST(SpecGolden, ShippedExamplesParseAndValidate)
+{
+    for (const char *name : {"fig6.exp", "sweep.exp"}) {
+        auto text = io::readFile(examplePath(name));
+        ASSERT_TRUE(text.has_value()) << name;
+        io::ParseError error;
+        auto spec = io::experimentFromString(*text, error);
+        ASSERT_TRUE(spec.has_value()) << name << ": " << error.str();
+        EXPECT_TRUE(exp::validateSpec(*spec, &error))
+            << name << ": " << error.str();
+    }
+    // examples/fig6.exp is the smoke tier of bench_fig6: same
+    // windows, systems, and scenario structure.
+    auto spec = io::experimentFromString(
+        *io::readFile(examplePath("fig6.exp")));
+    ASSERT_TRUE(spec.has_value());
+    EXPECT_EQ(spec->name, "fig6");
+    EXPECT_EQ(spec->seed, 42u);
+    EXPECT_DOUBLE_EQ(spec->warmupS, 1.0);
+    EXPECT_DOUBLE_EQ(spec->measureS, 3.0);
+    EXPECT_DOUBLE_EQ(spec->plannerBudgetS, 0.05);
+    ASSERT_EQ(spec->models.size(), 2u);
+    ASSERT_EQ(spec->systems.size(), 3u);
+    EXPECT_EQ(spec->systems[0].label, "helix");
+    ASSERT_EQ(spec->scenarios.size(), 2u);
+    EXPECT_EQ(spec->scenarios[1].kind, "online-peak");
+    EXPECT_DOUBLE_EQ(spec->scenarios[1].get("fraction", 0), 0.75);
+    EXPECT_DOUBLE_EQ(spec->scenarios[1].get("seed", 0), 43.0);
+}
+
+// --- Parsing: round trip --------------------------------------------
+
+TEST(SpecRoundTrip, SerializeParseSerializeIsByteIdentical)
+{
+    auto text = io::readFile(dataPath("sweep_axes.exp"));
+    ASSERT_TRUE(text.has_value());
+    auto spec = io::experimentFromString(*text);
+    ASSERT_TRUE(spec.has_value());
+    std::string canonical = io::experimentToString(*spec);
+    auto reparsed = io::experimentFromString(canonical);
+    ASSERT_TRUE(reparsed.has_value());
+    EXPECT_EQ(io::experimentToString(*reparsed), canonical);
+    // And the reparse carries the same content.
+    EXPECT_EQ(reparsed->name, spec->name);
+    EXPECT_EQ(reparsed->threads, spec->threads);
+    EXPECT_EQ(reparsed->seed, spec->seed);
+    ASSERT_EQ(reparsed->scenarios.size(), spec->scenarios.size());
+    for (size_t i = 0; i < spec->scenarios.size(); ++i) {
+        EXPECT_EQ(reparsed->scenarios[i].kind,
+                  spec->scenarios[i].kind);
+        EXPECT_EQ(reparsed->scenarios[i].options,
+                  spec->scenarios[i].options);
+    }
+}
+
+// --- Parsing: malformed input, exact line + message -----------------
+
+TEST(SpecErrors, HeaderProblems)
+{
+    expectSpecError("", 0,
+                    "empty input; expected 'experiment v1' header");
+    expectSpecError("cluster v1\n", 1,
+                    "expected 'experiment v1' header, got 'cluster'");
+    expectSpecError("experiment v2\n", 1,
+                    "experiment version 'v2' not supported "
+                    "(expected v1)");
+}
+
+TEST(SpecErrors, DirectiveProblems)
+{
+    expectSpecError("experiment v1\nfrobnicate 3\n", 2,
+                    "unknown directive 'frobnicate'");
+    expectSpecError("experiment v1\nseed 42\n# c\nseed 43\n", 4,
+                    "duplicate 'seed' directive (first on line 2)");
+    expectSpecError("experiment v1\nwarmup -3\n", 2,
+                    "'warmup' must be a non-negative number of "
+                    "seconds, got '-3'");
+    expectSpecError("experiment v1\noutput yaml\n", 2,
+                    "output must be 'csv' or 'json', got 'yaml'");
+    expectSpecError("experiment v1\nseed banana\n", 2,
+                    "seed must be an unsigned integer, got 'banana'");
+    expectSpecError("experiment v1\ncluster\n", 2,
+                    "'cluster' needs 1 argument(s): cluster "
+                    "<registry-name>");
+}
+
+TEST(SpecErrors, ModeMixing)
+{
+    expectSpecError("experiment v1\n"
+                    "cluster planner10\n"
+                    "model llama30b\n"
+                    "system a swarm helix\n"
+                    "planner swarm\n",
+                    5,
+                    "cannot mix 'planner' axes with 'system' lines "
+                    "(first system on line 4)");
+    expectSpecError("experiment v1\n"
+                    "cluster planner10\n"
+                    "model llama30b\n"
+                    "scheduler helix\n"
+                    "system a swarm helix\n",
+                    5,
+                    "cannot mix 'system' lines with planner/scheduler "
+                    "axes (first axis on line 4)");
+    expectSpecError("experiment v1\n"
+                    "cluster planner10\n"
+                    "model llama30b\n"
+                    "planner swarm\n"
+                    "scenario offline\n",
+                    4, "cartesian mode needs at least one 'scheduler'");
+}
+
+TEST(SpecErrors, ScenarioProblems)
+{
+    const std::string preamble = "experiment v1\n"
+                                 "cluster planner10\n"
+                                 "model llama30b\n"
+                                 "system a swarm helix\n";
+    expectSpecError(preamble + "scenario rushhour\n", 5,
+                    "unknown scenario kind 'rushhour' (known: "
+                    "offline, online, bursty, churn, online-peak)");
+    expectSpecError(preamble + "scenario offline node=3\n", 5,
+                    "scenario 'offline' does not take option 'node' "
+                    "(known: seed, warmup, measure, utilization)");
+    expectSpecError(preamble + "scenario offline seed=abc\n", 5,
+                    "scenario option 'seed' has non-numeric value "
+                    "'abc'");
+    expectSpecError(preamble + "scenario offline seed=1 seed=2\n", 5,
+                    "duplicate scenario option 'seed'");
+    expectSpecError(preamble + "scenario churn at=0.5\n", 5,
+                    "churn scenario requires node=<index>");
+    expectSpecError(preamble + "scenario online-peak\n"
+                               "scenario offline\n",
+                    5,
+                    "online-peak needs an earlier offline scenario "
+                    "to derive its arrival rate from");
+}
+
+TEST(SpecErrors, NonFiniteAndPrecisionLosingValuesRejected)
+{
+    // inf/nan would hang a run (infinite warmup) or poison configs;
+    // parseDouble rejects them everywhere.
+    expectSpecError("experiment v1\nwarmup inf\n", 2,
+                    "'warmup' must be a non-negative number of "
+                    "seconds, got 'inf'");
+    expectSpecError("experiment v1\nmeasure nan\n", 2,
+                    "'measure' must be a non-negative number of "
+                    "seconds, got 'nan'");
+    const std::string preamble = "experiment v1\n"
+                                 "cluster planner10\n"
+                                 "model llama30b\n"
+                                 "system a swarm helix\n"
+                                 "scenario offline\n";
+    expectSpecError(preamble + "scenario online-peak fraction=inf\n",
+                    6,
+                    "scenario option 'fraction' has non-numeric "
+                    "value 'inf'");
+    // Scenario seeds ride the double-valued option table; values
+    // beyond 2^53 would silently shift the RNG stream.
+    expectSpecError(preamble +
+                        "scenario offline seed=12345678901234567890\n",
+                    6,
+                    "scenario option 'seed' exceeds 2^53 and would "
+                    "lose precision; use the top-level 'seed' "
+                    "directive");
+}
+
+TEST(SpecErrors, MissingSections)
+{
+    expectSpecError("experiment v1\n", 0,
+                    "spec declares no 'cluster' lines");
+    expectSpecError("experiment v1\ncluster planner10\n", 0,
+                    "spec declares no 'model' lines");
+    expectSpecError("experiment v1\ncluster planner10\n"
+                    "model llama30b\n",
+                    0,
+                    "spec declares no 'system' lines and no "
+                    "planner/scheduler axes");
+    expectSpecError("experiment v1\ncluster planner10\n"
+                    "model llama30b\nsystem a swarm helix\n",
+                    0, "spec declares no 'scenario' lines");
+}
+
+// --- Registry resolution (exp::validateSpec) ------------------------
+
+TEST(SpecValidate, UnknownNamesReportTheirSpecLine)
+{
+    const std::string text = "experiment v1\n"
+                             "cluster nimbus9000\n"
+                             "model llama30b\n"
+                             "system a swarm helix\n"
+                             "scenario offline\n";
+    auto spec = io::experimentFromString(text);
+    ASSERT_TRUE(spec.has_value());
+    io::ParseError error;
+    EXPECT_FALSE(exp::validateSpec(*spec, &error));
+    EXPECT_EQ(error.line, 2);
+    EXPECT_EQ(error.message,
+              "unknown cluster 'nimbus9000' (known: single24, geo24, "
+              "hetero42, planner10)");
+
+    auto bad_model = io::experimentFromString(
+        "experiment v1\ncluster planner10\nmodel llama13b\n"
+        "system a swarm helix\nscenario offline\n");
+    ASSERT_TRUE(bad_model.has_value());
+    EXPECT_FALSE(exp::validateSpec(*bad_model, &error));
+    EXPECT_EQ(error.line, 3);
+    EXPECT_EQ(error.message,
+              "unknown model 'llama13b' (known: llama30b, llama70b, "
+              "gpt3-175b, grok1-314b, llama3-405b)");
+
+    auto bad_system = io::experimentFromString(
+        "experiment v1\ncluster planner10\nmodel llama30b\n"
+        "system a gurobi helix\nscenario offline\n");
+    ASSERT_TRUE(bad_system.has_value());
+    EXPECT_FALSE(exp::validateSpec(*bad_system, &error));
+    EXPECT_EQ(error.line, 4);
+    EXPECT_EQ(error.message,
+              "system 'a' names unknown planner 'gurobi' (known: "
+              "helix, helix-pruned, swarm, petals, sp, sp+, uniform)");
+}
+
+TEST(SpecValidate, ChurnNodeMustBeAnIntegerIndex)
+{
+    auto spec = io::experimentFromString(
+        "experiment v1\ncluster planner10\nmodel llama30b\n"
+        "system a swarm helix\nscenario churn node=1.9\n");
+    ASSERT_TRUE(spec.has_value());
+    io::ParseError error;
+    EXPECT_FALSE(exp::validateSpec(*spec, &error));
+    EXPECT_EQ(error.line, 5);
+    EXPECT_EQ(error.message,
+              "churn node=1.900000 must be an integer node index");
+}
+
+TEST(SpecValidate, ChurnNodeMustExistInEveryCluster)
+{
+    auto spec = io::experimentFromString(
+        "experiment v1\ncluster planner10\nmodel llama30b\n"
+        "system a swarm helix\nscenario churn node=10\n");
+    ASSERT_TRUE(spec.has_value());
+    io::ParseError error;
+    EXPECT_FALSE(exp::validateSpec(*spec, &error));
+    EXPECT_EQ(error.line, 5);
+    EXPECT_EQ(error.message,
+              "churn node index 10 is out of range for the smallest "
+              "declared cluster (10 nodes)");
+}
+
+TEST(SpecValidate, EnumeratedRegistryNamesAllResolve)
+{
+    for (const std::string &name : exp::clusterNames())
+        EXPECT_TRUE(exp::clusterByName(name).has_value()) << name;
+    for (const std::string &name : exp::modelNames())
+        EXPECT_TRUE(exp::modelByName(name).has_value()) << name;
+    for (const std::string &name : exp::plannerNames())
+        EXPECT_NE(exp::plannerByName(name, 0.01), nullptr) << name;
+    for (const std::string &name : exp::schedulerNames())
+        EXPECT_TRUE(exp::schedulerKindByName(name).has_value())
+            << name;
+    // And pruning actually differs from the plain helix planner only
+    // in its configuration, not its registry identity.
+    EXPECT_EQ(exp::plannerByName("helix", 0.01)->name(),
+              exp::plannerByName("helix-pruned", 0.01)->name());
+}
+
+// --- Scenario materialization ---------------------------------------
+
+TEST(SpecScenarios, RunConfigMatchesTheCatalog)
+{
+    io::ExperimentSpec spec;
+    spec.seed = 11;
+    spec.warmupS = 2.0;
+    spec.measureS = 8.0;
+
+    io::ScenarioSpec offline;
+    offline.kind = "offline";
+    RunConfig run = exp::scenarioRunConfig(spec, offline, 0.0);
+    EXPECT_FALSE(run.online);
+    EXPECT_EQ(run.seed, 11u);
+    EXPECT_DOUBLE_EQ(run.warmupSeconds, 2.0);
+    EXPECT_DOUBLE_EQ(run.measureSeconds, 8.0);
+    EXPECT_EQ(run.arrivals, ArrivalKind::Auto);
+    EXPECT_DOUBLE_EQ(run.requestRate, 0.0);
+
+    io::ScenarioSpec bursty;
+    bursty.kind = "bursty";
+    bursty.options = {{"multiplier", 7.0}, {"burst", 12.0},
+                      {"gap", 60.0}, {"seed", 5.0},
+                      {"warmup", 1.0}};
+    run = exp::scenarioRunConfig(spec, bursty, 0.0);
+    EXPECT_TRUE(run.online);
+    EXPECT_EQ(run.arrivals, ArrivalKind::Bursty);
+    EXPECT_DOUBLE_EQ(run.burstMultiplier, 7.0);
+    EXPECT_DOUBLE_EQ(run.burstMeanS, 12.0);
+    EXPECT_DOUBLE_EQ(run.burstGapS, 60.0);
+    EXPECT_EQ(run.seed, 5u);
+    EXPECT_DOUBLE_EQ(run.warmupSeconds, 1.0);
+    EXPECT_DOUBLE_EQ(run.measureSeconds, 8.0);
+
+    io::ScenarioSpec churn;
+    churn.kind = "churn";
+    churn.options = {{"node", 3.0}, {"at", 0.5}, {"online", 0.0}};
+    run = exp::scenarioRunConfig(spec, churn, 0.0);
+    EXPECT_FALSE(run.online);
+    EXPECT_EQ(run.failNodeIndex, 3);
+    EXPECT_DOUBLE_EQ(run.failAtSeconds, 0.5 * (2.0 + 8.0));
+
+    // online-peak reproduces bench_common's Sec. 6.2 derivation:
+    // rate = fraction * peak / mean output length.
+    io::ScenarioSpec peak;
+    peak.kind = "online-peak";
+    peak.options = {{"fraction", 0.75}, {"seed", 43.0}};
+    run = exp::scenarioRunConfig(spec, peak, 1000.0);
+    EXPECT_TRUE(run.online);
+    EXPECT_EQ(run.seed, 43u);
+    trace::LengthModel lengths;
+    EXPECT_DOUBLE_EQ(run.requestRate,
+                     0.75 * 1000.0 / lengths.targetMeanOutput);
+}
+
+// --- docs/FILE_FORMATS.md worked examples ---------------------------
+// These literals are byte-for-byte the examples in the doc; each must
+// parse and round-trip so the normative reference cannot drift from
+// the implementation.
+
+TEST(DocFileFormats, ClusterExampleRoundTrips)
+{
+    const std::string example = "cluster v1\n"
+                                "node a100-0 A100 312 80 2039 400 1 0\n"
+                                "node t4-0 T4 65 16 300 70 1 1\n"
+                                "link -1 0 1.25e9 0.0005\n"
+                                "link -1 1 1.25e9 0.0005\n"
+                                "link 0 -1 1.25e9 0.0005\n"
+                                "link 0 1 1.25e9 0.0005\n"
+                                "link 1 -1 1.25e9 0.0005\n"
+                                "link 1 0 1.25e9 0.0005\n";
+    io::ParseError error;
+    auto clus = io::clusterFromString(example, error);
+    ASSERT_TRUE(clus.has_value()) << error.str();
+    EXPECT_EQ(clus->numNodes(), 2);
+    EXPECT_EQ(clus->node(0).gpu.name, "A100");
+    EXPECT_EQ(clus->node(1).region, 1);
+    EXPECT_DOUBLE_EQ(clus->link(0, 1).bandwidthBps, 1.25e9);
+    EXPECT_DOUBLE_EQ(clus->link(-1, 0).latencyS, 0.0005);
+    // Canonical re-serialization is stable.
+    std::string canonical = io::clusterToString(*clus);
+    auto reparsed = io::clusterFromString(canonical);
+    ASSERT_TRUE(reparsed.has_value());
+    EXPECT_EQ(io::clusterToString(*reparsed), canonical);
+}
+
+TEST(DocFileFormats, PlacementExampleRoundTrips)
+{
+    const std::string example = "placement v1 2\n"
+                                "0 40\n"
+                                "40 40\n";
+    io::ParseError error;
+    auto placement = io::placementFromString(example, error);
+    ASSERT_TRUE(placement.has_value()) << error.str();
+    ASSERT_EQ(placement->size(), 2u);
+    EXPECT_EQ((*placement)[0].start, 0);
+    EXPECT_EQ((*placement)[0].count, 40);
+    EXPECT_EQ((*placement)[1].end(), 80);
+    EXPECT_EQ(io::placementToString(*placement), example);
+}
+
+TEST(DocFileFormats, TraceExampleRoundTrips)
+{
+    const std::string example = "trace v1 3\n"
+                                "0 0.25 763 232\n"
+                                "1 1.75 2048 1\n"
+                                "2 3.125 4 1024\n";
+    io::ParseError error;
+    auto requests = io::traceFromString(example, error);
+    ASSERT_TRUE(requests.has_value()) << error.str();
+    ASSERT_EQ(requests->size(), 3u);
+    EXPECT_DOUBLE_EQ((*requests)[1].arrivalS, 1.75);
+    EXPECT_EQ((*requests)[2].outputLen, 1024);
+    EXPECT_EQ(io::traceToString(*requests), example);
+}
+
+TEST(DocFileFormats, ExperimentExampleParsesAndValidates)
+{
+    const std::string example =
+        "experiment v1\n"
+        "name fig6-mini\n"
+        "output csv\n"
+        "seed 42\n"
+        "warmup 1\n"
+        "measure 3\n"
+        "planner-budget 0.05\n"
+        "cluster single24\n"
+        "model llama30b\n"
+        "system helix helix helix\n"
+        "system swarm swarm swarm\n"
+        "scenario offline\n"
+        "scenario online-peak fraction=0.75 seed=43\n";
+    io::ParseError error;
+    auto spec = io::experimentFromString(example, error);
+    ASSERT_TRUE(spec.has_value()) << error.str();
+    EXPECT_TRUE(exp::validateSpec(*spec, &error)) << error.str();
+    EXPECT_EQ(spec->name, "fig6-mini");
+    ASSERT_EQ(spec->systems.size(), 2u);
+    ASSERT_EQ(spec->scenarios.size(), 2u);
+    // Canonical re-serialization is stable.
+    std::string canonical = io::experimentToString(*spec);
+    auto reparsed = io::experimentFromString(canonical);
+    ASSERT_TRUE(reparsed.has_value());
+    EXPECT_EQ(io::experimentToString(*reparsed), canonical);
+}
+
+// --- Engine equivalence ---------------------------------------------
+
+/**
+ * The acceptance criterion: running the fig6-equivalent golden spec
+ * through the spec engine produces SimMetrics byte-identical to the
+ * figure-bench path (the pre-spec bench_common.h logic, replicated
+ * here directly over ExperimentRunner: plan each system once, run
+ * the offline batch, then the online batch at 75% of the first
+ * system's measured offline peak).
+ */
+TEST(SpecEngine, MatchesDirectFigurePathByteForByte)
+{
+    auto text = io::readFile(dataPath("fig6_smoke.exp"));
+    ASSERT_TRUE(text.has_value());
+    auto spec = io::experimentFromString(*text);
+    ASSERT_TRUE(spec.has_value());
+
+    io::ParseError error;
+    auto results = exp::runSpec(*spec, &error);
+    ASSERT_TRUE(results.has_value()) << error.str();
+    ASSERT_EQ(results->size(), 4u); // 2 systems x 2 scenarios
+
+    // Reference implementation: the direct runner path.
+    auto clus = exp::clusterByName("single24");
+    auto model_spec = exp::modelByName("llama30b");
+    ASSERT_TRUE(clus && model_spec);
+    struct Sys
+    {
+        const char *planner;
+        SchedulerKind scheduler;
+    };
+    const Sys systems[] = {{"swarm", SchedulerKind::Swarm},
+                           {"sp", SchedulerKind::FixedRoundRobin}};
+    std::vector<Deployment> deployments;
+    for (const Sys &sys : systems) {
+        auto planner = exp::plannerByName(sys.planner, 0.05);
+        deployments.emplace_back(*clus, *model_spec, *planner);
+    }
+    exp::ExperimentRunner runner;
+    auto make_jobs = [&](const RunConfig &run) {
+        std::vector<exp::Job> jobs;
+        for (size_t i = 0; i < 2; ++i) {
+            exp::Job job;
+            job.deployment = &deployments[i];
+            job.scheduler = systems[i].scheduler;
+            job.run = run;
+            jobs.push_back(std::move(job));
+        }
+        return jobs;
+    };
+    RunConfig offline;
+    offline.online = false;
+    offline.warmupSeconds = 1.0;
+    offline.measureSeconds = 3.0;
+    offline.seed = 42;
+    auto offline_rows = runner.run(make_jobs(offline));
+    ASSERT_EQ(offline_rows.size(), 2u);
+    EXPECT_GT(offline_rows[0].metrics.requestsArrived, 0);
+
+    RunConfig online;
+    online.online = true;
+    online.warmupSeconds = 1.0;
+    online.measureSeconds = 3.0;
+    online.seed = 43;
+    trace::LengthModel lengths;
+    online.requestRate = 0.75 *
+                         offline_rows[0].metrics.decodeThroughput /
+                         lengths.targetMeanOutput;
+    auto online_rows = runner.run(make_jobs(online));
+
+    expectMetricsIdentical(results->at(0).metrics,
+                           offline_rows[0].metrics);
+    expectMetricsIdentical(results->at(1).metrics,
+                           offline_rows[1].metrics);
+    expectMetricsIdentical(results->at(2).metrics,
+                           online_rows[0].metrics);
+    expectMetricsIdentical(results->at(3).metrics,
+                           online_rows[1].metrics);
+    EXPECT_EQ(results->at(0).plannedThroughput,
+              offline_rows[0].plannedThroughput);
+    EXPECT_EQ(results->at(1).plannedThroughput,
+              offline_rows[1].plannedThroughput);
+
+    // Labels carry the (cluster, model, system, scenario) coordinates.
+    EXPECT_EQ(results->at(0).label,
+              "single24/llama30b/swarm/offline");
+    EXPECT_EQ(results->at(3).label,
+              "single24/llama30b/sp/online-peak");
+}
+
+/** Spec execution is invariant to the worker-thread count. */
+TEST(SpecEngine, ThreadCountInvariant)
+{
+    auto spec = io::experimentFromString(
+        "experiment v1\n"
+        "warmup 1\nmeasure 2\nplanner-budget 0.05\n"
+        "cluster planner10\nmodel llama30b\n"
+        "planner swarm\nplanner sp\n"
+        "scheduler helix\n"
+        "scenario offline\nscenario churn node=0 at=0.5 online=0\n");
+    ASSERT_TRUE(spec.has_value());
+    exp::RunnerOptions serial;
+    serial.numThreads = 1;
+    exp::RunnerOptions wide;
+    wide.numThreads = 4;
+    auto a = exp::runSpec(*spec, nullptr, serial);
+    auto b = exp::runSpec(*spec, nullptr, wide);
+    ASSERT_TRUE(a && b);
+    ASSERT_EQ(a->size(), b->size());
+    ASSERT_EQ(a->size(), 4u); // 2 planners x 1 sched x 2 scenarios
+    for (size_t i = 0; i < a->size(); ++i) {
+        EXPECT_EQ(a->at(i).label, b->at(i).label);
+        expectMetricsIdentical(a->at(i).metrics, b->at(i).metrics);
+    }
+}
+
+/** runSpec refuses invalid specs through the same validate path. */
+TEST(SpecEngine, RejectsInvalidSpecWithError)
+{
+    auto spec = io::experimentFromString(
+        "experiment v1\ncluster nimbus9000\nmodel llama30b\n"
+        "system a swarm helix\nscenario offline\n");
+    ASSERT_TRUE(spec.has_value());
+    io::ParseError error;
+    auto results = exp::runSpec(*spec, &error);
+    EXPECT_FALSE(results.has_value());
+    EXPECT_EQ(error.line, 2);
+}
+
+} // namespace
+} // namespace helix

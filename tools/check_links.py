@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Link checker for the repo's Markdown docs.
+
+Scans the given Markdown files for inline links/images
+(``[text](target)``) and reference definitions (``[ref]: target``)
+and verifies that every *relative* target resolves to an existing
+file or directory (anchors are checked for existence of the file
+only; external http(s)/mailto links are skipped). Exits non-zero
+listing every broken link as ``file:line: target``.
+
+Usage: tools/check_links.py README.md docs/*.md
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline [text](target) — target ends at the first unmatched ')' or
+# whitespace (titles like [t](x "title") are handled by the split).
+INLINE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)")
+SKIP = ("http://", "https://", "mailto:")
+
+
+def targets(line: str):
+    for match in INLINE.finditer(line):
+        yield match.group(1)
+    match = REFDEF.match(line)
+    if match:
+        yield match.group(1)
+
+
+def check(path: Path) -> list:
+    broken = []
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in targets(line):
+            if target.startswith(SKIP):
+                continue
+            base = target.split("#", 1)[0]
+            if not base:  # pure in-page anchor
+                continue
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                broken.append(f"{path}:{lineno}: {target}")
+    return broken
+
+
+def main(argv: list) -> int:
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    broken = []
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            broken.append(f"{path}: file not found")
+            continue
+        broken.extend(check(path))
+    for entry in broken:
+        print(entry, file=sys.stderr)
+    if broken:
+        print(f"{len(broken)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(argv)} file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
