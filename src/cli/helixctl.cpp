@@ -9,9 +9,13 @@
  *       writes the emitter to stdout and suppresses the table.
  *
  *   helixctl plan <cluster> <model> [--planner NAME] [--budget S]
- *                 [--out FILE]
+ *                 [--threads N] [--out FILE]
  *       Run a placement planner and write a `placement v1` artifact
  *       (stdout by default).
+ *
+ *   helixctl gen-cluster <preset> [--nodes N] [--seed S] [--out FILE]
+ *       Generate a synthetic cluster and write it as a `cluster v1`
+ *       artifact (stdout by default).
  *
  *   helixctl validate <spec.exp> [...]
  *       Parse + registry-resolve specs without running anything;
@@ -19,6 +23,9 @@
  *
  *   helixctl list
  *       Dump the registries a spec can name.
+ *
+ * Every subcommand prints its own synopsis with `--help`;
+ * `helixctl --version` prints the release version.
  *
  * Exit codes: 0 success, 1 runtime/validation failure, 2 usage error.
  */
@@ -28,9 +35,14 @@
 #include <string>
 #include <vector>
 
+#include "cluster/generator.h"
 #include "exp/spec.h"
 #include "io/serialization.h"
 #include "io/spec.h"
+
+#ifndef HELIX_VERSION
+#define HELIX_VERSION "dev"
+#endif
 
 namespace {
 
@@ -47,18 +59,103 @@ usage(const char *argv0)
         "  run <spec.exp> [--csv FILE] [--json FILE] [--threads N]\n"
         "      execute an experiment spec ('-' as FILE = stdout)\n"
         "  plan <cluster> <model> [--planner NAME] [--budget SECONDS]\n"
-        "       [--out FILE]\n"
+        "       [--threads N] [--out FILE]\n"
         "      run a planner, write a 'placement v1' artifact\n"
+        "  gen-cluster <preset> [--nodes N] [--seed S] [--out FILE]\n"
+        "      generate a synthetic cluster, write a 'cluster v1' "
+        "artifact\n"
         "  validate <spec.exp> [...]\n"
         "      parse + resolve specs, report line-numbered errors\n"
         "  list\n"
         "      dump registered clusters/models/planners/schedulers/"
         "scenarios\n"
         "\n"
-        "see docs/FILE_FORMATS.md for the spec grammar and\n"
+        "every command accepts --help; --version prints '%s'\n"
+        "see docs/FILE_FORMATS.md for the spec grammar,\n"
+        "docs/PLANNERS.md for planner semantics, and\n"
         "docs/SCENARIOS.md for scenario semantics\n",
-        argv0);
+        argv0, HELIX_VERSION);
     return 2;
+}
+
+// --- Per-subcommand help ---------------------------------------------
+// One normative synopsis per subcommand, printed on `<cmd> --help`.
+// tests/test_cli.cpp asserts this text, so the binary and the docs
+// cannot drift apart.
+
+const char *const kRunHelp =
+    "usage: helixctl run <spec.exp> [--csv FILE] [--json FILE]\n"
+    "                    [--threads N]\n"
+    "\n"
+    "Execute a declarative 'experiment v1' sweep (see\n"
+    "docs/FILE_FORMATS.md). With no output flag the spec's 'output'\n"
+    "format goes to stdout after a summary table; '-' as FILE writes\n"
+    "the emitter to stdout and suppresses the table.\n"
+    "\n"
+    "  --csv FILE      write results as CSV ('-' = stdout)\n"
+    "  --json FILE     write results as JSON ('-' = stdout)\n"
+    "  --threads N     worker threads (0 = hardware concurrency);\n"
+    "                  overrides the spec's 'threads' directive and\n"
+    "                  caps a portfolio planner's member race\n";
+
+const char *const kPlanHelp =
+    "usage: helixctl plan <cluster> <model> [--planner NAME]\n"
+    "                     [--budget SECONDS] [--threads N]\n"
+    "                     [--out FILE]\n"
+    "\n"
+    "Run a placement planner and write the chosen placement as a\n"
+    "'placement v1' artifact. <cluster> is a registry name or a\n"
+    "generated cluster 'gen:<preset>:<nodes>[:<seed>]'.\n"
+    "\n"
+    "  --planner NAME  planner registry name (default helix); for\n"
+    "                  'portfolio[:a,b,...]' see docs/PLANNERS.md\n"
+    "  --budget S      wall-clock budget for budgeted planners\n"
+    "                  (default 2)\n"
+    "  --threads N     worker threads for a portfolio's member race\n"
+    "                  (0 = one thread per member)\n"
+    "  --out FILE      output path (default '-' = stdout)\n";
+
+const char *const kGenClusterHelp =
+    "usage: helixctl gen-cluster <preset> [--nodes N] [--seed S]\n"
+    "                            [--out FILE]\n"
+    "\n"
+    "Generate a synthetic cluster and write it as a 'cluster v1'\n"
+    "artifact. Generation is deterministic in (preset, nodes, seed);\n"
+    "experiment specs can name the same cluster directly as\n"
+    "'gen:<preset>:<nodes>[:<seed>]'. Presets (docs/FILE_FORMATS.md):\n"
+    "homogeneous, two-tier, long-tail-heterogeneous, geo-distributed.\n"
+    "\n"
+    "  --nodes N       number of compute nodes (default 100)\n"
+    "  --seed S        RNG seed for the randomized presets "
+    "(default 42)\n"
+    "  --out FILE      output path (default '-' = stdout)\n";
+
+const char *const kValidateHelp =
+    "usage: helixctl validate <spec.exp> [...]\n"
+    "\n"
+    "Parse and registry-resolve experiment specs without running\n"
+    "anything. Errors are reported as '<path>:<line>: <message>';\n"
+    "exit code 1 if any spec fails.\n";
+
+const char *const kListHelp =
+    "usage: helixctl list\n"
+    "\n"
+    "Dump every registry a spec can name: clusters, cluster\n"
+    "generator presets, models, planners, schedulers, and scenario\n"
+    "kinds with their options.\n";
+
+/** True when any argument is --help/-h (printing @p text if so). */
+bool
+wantsHelp(int argc, char **argv, const char *text)
+{
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--help") == 0 ||
+            std::strcmp(argv[i], "-h") == 0) {
+            std::fputs(text, stdout);
+            return true;
+        }
+    }
+    return false;
 }
 
 /** Load + parse + validate one spec file; nullopt after reporting. */
@@ -104,6 +201,8 @@ emit(const std::string &path, const std::string &text)
 int
 cmdRun(int argc, char **argv)
 {
+    if (wantsHelp(argc, argv, kRunHelp))
+        return 0;
     std::string spec_path;
     std::string csv_path;
     std::string json_path;
@@ -187,11 +286,14 @@ cmdRun(int argc, char **argv)
 int
 cmdPlan(int argc, char **argv)
 {
+    if (wantsHelp(argc, argv, kPlanHelp))
+        return 0;
     std::string cluster_name;
     std::string model_name;
     std::string planner_name = "helix";
     std::string out_path = "-";
     double budget_s = 2.0;
+    int threads = 0;
     for (int i = 0; i < argc; ++i) {
         if (std::strcmp(argv[i], "--planner") == 0 && i + 1 < argc) {
             planner_name = argv[++i];
@@ -202,6 +304,15 @@ cmdPlan(int argc, char **argv)
                 std::fprintf(stderr,
                              "plan: --budget needs a non-negative "
                              "number of seconds, got '%s'\n",
+                             argv[i]);
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--threads") == 0 &&
+                   i + 1 < argc) {
+            if (!io::parseInt(argv[++i], threads) || threads < 0) {
+                std::fprintf(stderr,
+                             "plan: --threads needs a non-negative "
+                             "integer, got '%s'\n",
                              argv[i]);
                 return 2;
             }
@@ -238,7 +349,7 @@ cmdPlan(int argc, char **argv)
                      model_name.c_str());
         return 1;
     }
-    auto planner = exp::plannerByName(planner_name, budget_s);
+    auto planner = exp::plannerByName(planner_name, budget_s, threads);
     if (!planner) {
         std::fprintf(stderr, "unknown planner '%s' (helixctl list)\n",
                      planner_name.c_str());
@@ -258,8 +369,73 @@ cmdPlan(int argc, char **argv)
 }
 
 int
+cmdGenCluster(int argc, char **argv)
+{
+    if (wantsHelp(argc, argv, kGenClusterHelp))
+        return 0;
+    cluster::gen::GeneratorConfig config;
+    config.preset.clear();
+    std::string out_path = "-";
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+            if (!io::parseInt(argv[++i], config.numNodes) ||
+                config.numNodes < 1) {
+                std::fprintf(stderr,
+                             "gen-cluster: --nodes needs a positive "
+                             "integer, got '%s'\n",
+                             argv[i]);
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--seed") == 0 &&
+                   i + 1 < argc) {
+            if (!io::parseU64(argv[++i], config.seed)) {
+                std::fprintf(stderr,
+                             "gen-cluster: --seed needs an unsigned "
+                             "integer, got '%s'\n",
+                             argv[i]);
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--out") == 0 &&
+                   i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (argv[i][0] == '-' && std::strlen(argv[i]) > 1) {
+            std::fprintf(stderr, "gen-cluster: unknown flag %s\n",
+                         argv[i]);
+            return 2;
+        } else if (config.preset.empty()) {
+            config.preset = argv[i];
+        } else {
+            std::fprintf(stderr, "gen-cluster: extra argument %s\n",
+                         argv[i]);
+            return 2;
+        }
+    }
+    if (config.preset.empty()) {
+        std::fprintf(stderr, "gen-cluster: missing <preset>\n");
+        return 2;
+    }
+
+    auto clus = cluster::gen::generate(config);
+    if (!clus) {
+        std::fprintf(stderr,
+                     "unknown generator preset '%s' (known: %s)\n",
+                     config.preset.c_str(),
+                     io::joinNames(cluster::gen::presetNames())
+                         .c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "generated %s cluster (seed %llu): %s\n",
+                 config.preset.c_str(),
+                 static_cast<unsigned long long>(config.seed),
+                 clus->summary().c_str());
+    return emit(out_path, io::clusterToString(*clus)) ? 0 : 1;
+}
+
+int
 cmdValidate(int argc, char **argv)
 {
+    if (wantsHelp(argc, argv, kValidateHelp))
+        return 0;
     if (argc == 0) {
         std::fprintf(stderr, "validate: missing <spec.exp>\n");
         return 2;
@@ -293,6 +469,10 @@ cmdList()
         std::printf("  %-14s %s\n", name.c_str(),
                     clus->summary().c_str());
     }
+    std::printf("cluster generators (gen:<preset>:<nodes>[:<seed>]):"
+                "\n");
+    for (const std::string &name : cluster::gen::presetNames())
+        std::printf("  %s\n", name.c_str());
     std::printf("models:\n");
     for (const std::string &name : exp::modelNames()) {
         auto model_spec = exp::modelByName(name);
@@ -330,10 +510,20 @@ main(int argc, char **argv)
         return cmdRun(argc - 2, argv + 2);
     if (std::strcmp(cmd, "plan") == 0)
         return cmdPlan(argc - 2, argv + 2);
+    if (std::strcmp(cmd, "gen-cluster") == 0)
+        return cmdGenCluster(argc - 2, argv + 2);
     if (std::strcmp(cmd, "validate") == 0)
         return cmdValidate(argc - 2, argv + 2);
-    if (std::strcmp(cmd, "list") == 0)
+    if (std::strcmp(cmd, "list") == 0) {
+        if (wantsHelp(argc - 2, argv + 2, kListHelp))
+            return 0;
         return cmdList();
+    }
+    if (std::strcmp(cmd, "--version") == 0 ||
+        std::strcmp(cmd, "version") == 0) {
+        std::printf("helixctl %s\n", HELIX_VERSION);
+        return 0;
+    }
     if (std::strcmp(cmd, "help") == 0 ||
         std::strcmp(cmd, "--help") == 0 ||
         std::strcmp(cmd, "-h") == 0) {

@@ -1,0 +1,224 @@
+#include "cluster/generator.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/random.h"
+
+namespace helix {
+namespace cluster {
+namespace gen {
+
+namespace {
+
+/** Intra-region link: 10 Gb/s, 1 ms (the paper's single-cluster LAN). */
+const LinkSpec kIntraLink{10 * setups::kGbps, 1e-3};
+/** Inter-region link: 100 Mb/s, 50 ms (the paper's WAN, Sec. 6.4). */
+const LinkSpec kInterLink{100 * setups::kMbps, 50e-3};
+
+void
+addNode(ClusterSpec &cluster, const GpuSpec &gpu, int num_gpus,
+        int region, int index)
+{
+    NodeSpec node;
+    std::ostringstream name;
+    if (num_gpus > 1)
+        name << num_gpus << "x";
+    name << gpu.name << "-r" << region << "-" << index;
+    node.name = name.str();
+    node.gpu = gpu;
+    node.numGpus = num_gpus;
+    node.region = region;
+    cluster.addNode(std::move(node));
+}
+
+ClusterSpec
+homogeneous(const GeneratorConfig &config)
+{
+    ClusterSpec cluster;
+    for (int i = 0; i < config.numNodes; ++i)
+        addNode(cluster, gpus::l4(), 1, 0, i);
+    cluster.setUniformLinks(kIntraLink.bandwidthBps,
+                            kIntraLink.latencyS);
+    return cluster;
+}
+
+ClusterSpec
+twoTier(const GeneratorConfig &config)
+{
+    // Strong tier first: one A100 node per four nodes (at least one),
+    // then the weak T4 tail.
+    ClusterSpec cluster;
+    int strong = std::max(1, config.numNodes / 4);
+    for (int i = 0; i < config.numNodes; ++i) {
+        if (i < strong)
+            addNode(cluster, gpus::a100_40(), 1, 0, i);
+        else
+            addNode(cluster, gpus::t4(), 1, 0, i);
+    }
+    cluster.setUniformLinks(kIntraLink.bandwidthBps,
+                            kIntraLink.latencyS);
+    return cluster;
+}
+
+ClusterSpec
+longTailHeterogeneous(const GeneratorConfig &config)
+{
+    // Skewed type mix: the weak end of the catalog dominates
+    // (A100 : V100 : L4 : T4 = 1 : 2 : 4 : 8), and only the commodity
+    // types come in multi-GPU boxes (1 : 2 : 4 GPUs = 6 : 3 : 1).
+    ClusterSpec cluster;
+    Rng rng(config.seed);
+    const GpuSpec catalog[] = {gpus::a100_40(), gpus::v100(),
+                               gpus::l4(), gpus::t4()};
+    const std::vector<double> type_weights = {1.0, 2.0, 4.0, 8.0};
+    const std::vector<double> count_weights = {6.0, 3.0, 1.0};
+    const int counts[] = {1, 2, 4};
+    for (int i = 0; i < config.numNodes; ++i) {
+        size_t type = rng.nextWeighted(type_weights);
+        int num_gpus = 1;
+        if (catalog[type].name == "L4" || catalog[type].name == "T4")
+            num_gpus = counts[rng.nextWeighted(count_weights)];
+        addNode(cluster, catalog[type], num_gpus, 0, i);
+    }
+    cluster.setUniformLinks(kIntraLink.bandwidthBps,
+                            kIntraLink.latencyS);
+    return cluster;
+}
+
+ClusterSpec
+geoDistributed(const GeneratorConfig &config)
+{
+    // Regions are assigned round-robin so every region ends up within
+    // one node of the others; each node's GPU type is drawn from a
+    // mildly heterogeneous mix (A100 : L4 : T4 = 1 : 4 : 6).
+    ClusterSpec cluster;
+    Rng rng(config.seed);
+    int regions = geoRegionCount(config.numNodes);
+    const GpuSpec catalog[] = {gpus::a100_40(), gpus::l4(),
+                               gpus::t4()};
+    const std::vector<double> type_weights = {1.0, 4.0, 6.0};
+    for (int i = 0; i < config.numNodes; ++i) {
+        size_t type = rng.nextWeighted(type_weights);
+        addNode(cluster, catalog[type], 1, i % regions, i);
+    }
+    cluster.connectRegions(kIntraLink, kInterLink, 0);
+    return cluster;
+}
+
+} // namespace
+
+namespace {
+
+/**
+ * The single preset table: presetNames() and generate() both derive
+ * from it, so a preset cannot exist in one and not the other.
+ */
+struct Preset
+{
+    const char *name;
+    ClusterSpec (*build)(const GeneratorConfig &);
+};
+
+const Preset kPresets[] = {
+    {"homogeneous", homogeneous},
+    {"two-tier", twoTier},
+    {"long-tail-heterogeneous", longTailHeterogeneous},
+    {"geo-distributed", geoDistributed},
+};
+
+} // namespace
+
+int
+geoRegionCount(int num_nodes)
+{
+    return std::clamp(num_nodes / 16, 2, 8);
+}
+
+const std::vector<std::string> &
+presetNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> collected;
+        for (const Preset &preset : kPresets)
+            collected.push_back(preset.name);
+        return collected;
+    }();
+    return names;
+}
+
+std::optional<ClusterSpec>
+generate(const GeneratorConfig &config)
+{
+    if (config.numNodes < 1)
+        return std::nullopt;
+    for (const Preset &preset : kPresets) {
+        if (config.preset == preset.name)
+            return preset.build(config);
+    }
+    return std::nullopt;
+}
+
+namespace {
+
+/**
+ * Strict decimal parse of a whole token (no sign, no trailing junk).
+ * Deliberately local rather than io::parseU64: src/io sits above
+ * src/cluster (its headers include cluster/cluster.h), so reusing it
+ * here would invert the layering.
+ */
+bool
+parseUnsigned(const std::string &token, unsigned long long &out)
+{
+    if (token.empty() || token[0] == '-' || token[0] == '+')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+    if (errno != 0 || end != token.c_str() + token.size())
+        return false;
+    out = value;
+    return true;
+}
+
+} // namespace
+
+std::optional<GeneratorConfig>
+parseGeneratorName(const std::string &name)
+{
+    std::vector<std::string> parts;
+    size_t at = 0;
+    while (true) {
+        size_t colon = name.find(':', at);
+        if (colon == std::string::npos) {
+            parts.push_back(name.substr(at));
+            break;
+        }
+        parts.push_back(name.substr(at, colon - at));
+        at = colon + 1;
+    }
+    if (parts.size() < 3 || parts.size() > 4 || parts[0] != "gen")
+        return std::nullopt;
+
+    GeneratorConfig config;
+    config.preset = parts[1];
+    unsigned long long nodes = 0;
+    if (config.preset.empty() || !parseUnsigned(parts[2], nodes) ||
+        nodes < 1 || nodes > static_cast<unsigned long long>(INT_MAX))
+        return std::nullopt;
+    config.numNodes = static_cast<int>(nodes);
+    if (parts.size() == 4) {
+        unsigned long long seed = 0;
+        if (!parseUnsigned(parts[3], seed))
+            return std::nullopt;
+        config.seed = static_cast<uint64_t>(seed);
+    }
+    return config;
+}
+
+} // namespace gen
+} // namespace cluster
+} // namespace helix

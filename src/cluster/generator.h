@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Synthetic cluster generators for planner-scalability studies.
+ *
+ * The paper evaluates Helix on hand-built 10-42-node clusters
+ * (cluster::setups); measuring how placement planners behave at
+ * hundreds or thousands of nodes needs clusters no one wants to write
+ * by hand. Each generator preset captures one heterogeneity regime
+ * the planners must cope with:
+ *
+ *   homogeneous              one GPU type, one region — the regime
+ *                            where uniform partitioning is optimal
+ *                            and everything else must match it;
+ *   two-tier                 a small strong tier (A100) plus a large
+ *                            weak tier (T4), one region — the classic
+ *                            "new fleet + legacy fleet" shape;
+ *   long-tail-heterogeneous  GPU type and per-node GPU count drawn
+ *                            from a skewed distribution (many weak
+ *                            single-GPU nodes, few strong or
+ *                            multi-GPU ones) — the Sec. 6.5 high
+ *                            heterogeneity regime at scale;
+ *   geo-distributed          nodes spread round-robin over several
+ *                            regions with slow inter-region links —
+ *                            the Sec. 6.4 regime at scale.
+ *
+ * Generation is deterministic: the same (preset, nodes, seed) triple
+ * always produces the same cluster (byte-identical through
+ * io::clusterToString), so generated clusters are reproducible
+ * experiment inputs. The seed only matters for the presets that draw
+ * from a distribution (long-tail-heterogeneous, geo-distributed).
+ *
+ * Entry points: `generate` builds a ClusterSpec in memory;
+ * `helixctl gen-cluster <preset> --nodes N --seed S` writes the same
+ * cluster as a `cluster v1` artifact; and experiment specs can name
+ * generated clusters directly with the registry syntax
+ * `gen:<preset>:<nodes>[:<seed>]` (see exp::clusterByName).
+ * docs/FILE_FORMATS.md is the normative description of the presets.
+ */
+
+#ifndef HELIX_CLUSTER_GENERATOR_H
+#define HELIX_CLUSTER_GENERATOR_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+
+namespace helix {
+namespace cluster {
+namespace gen {
+
+/** Parameters of one synthetic cluster. */
+struct GeneratorConfig
+{
+    /** One of presetNames(). */
+    std::string preset = "homogeneous";
+    /** Number of compute nodes (>= 1). */
+    int numNodes = 100;
+    /** RNG seed for the randomized presets. */
+    uint64_t seed = 42;
+};
+
+/**
+ * The preset catalog: "homogeneous", "two-tier",
+ * "long-tail-heterogeneous", "geo-distributed". Every entry generates
+ * successfully for any numNodes >= 1.
+ */
+const std::vector<std::string> &presetNames();
+
+/**
+ * Generate the cluster described by @p config. Returns nullopt for an
+ * unknown preset or numNodes < 1.
+ */
+std::optional<ClusterSpec> generate(const GeneratorConfig &config);
+
+/**
+ * Parse a generated-cluster registry name of the form
+ * "gen:<preset>:<nodes>[:<seed>]" (e.g. "gen:two-tier:300:7"; the
+ * seed defaults to 42). Returns nullopt if the name does not start
+ * with "gen:" or any component is malformed; the preset is NOT
+ * validated here — generate() rejects unknown presets.
+ */
+std::optional<GeneratorConfig> parseGeneratorName(
+    const std::string &name);
+
+/**
+ * Number of regions the geo-distributed preset spreads @p num_nodes
+ * over: one region per 16 nodes, clamped to [2, 8]. Exposed so tests
+ * and docs stay in lockstep with the implementation.
+ */
+int geoRegionCount(int num_nodes);
+
+} // namespace gen
+} // namespace cluster
+} // namespace helix
+
+#endif // HELIX_CLUSTER_GENERATOR_H

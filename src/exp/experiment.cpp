@@ -7,6 +7,9 @@
 #include <sstream>
 #include <thread>
 
+#include "cluster/generator.h"
+#include "placement/partitioned_planner.h"
+#include "placement/portfolio.h"
 #include "util/logging.h"
 
 namespace helix {
@@ -89,24 +92,48 @@ ExperimentRunner::ExperimentRunner(RunnerOptions options)
 {
 }
 
-std::vector<JobResult>
-ExperimentRunner::run(const std::vector<Job> &jobs) const
+void
+ExperimentRunner::runTasks(
+    const std::vector<std::function<void()>> &tasks) const
 {
-    std::vector<JobResult> results(jobs.size());
-    if (jobs.empty())
-        return results;
+    if (tasks.empty())
+        return;
 
     int hw = static_cast<int>(std::thread::hardware_concurrency());
     int workers = opts.numThreads > 0 ? opts.numThreads
                                       : std::max(1, hw);
-    workers = std::min<int>(workers, static_cast<int>(jobs.size()));
+    workers = std::min<int>(workers, static_cast<int>(tasks.size()));
 
     std::atomic<size_t> next{0};
     auto worker = [&]() {
         for (;;) {
             size_t i = next.fetch_add(1);
-            if (i >= jobs.size())
+            if (i >= tasks.size())
                 return;
+            tasks[i]();
+        }
+    };
+
+    if (workers == 1) {
+        worker();
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (int w = 0; w < workers; ++w)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+}
+
+std::vector<JobResult>
+ExperimentRunner::run(const std::vector<Job> &jobs) const
+{
+    std::vector<JobResult> results(jobs.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        tasks.push_back([&jobs, &results, i]() {
             const Job &job = jobs[i];
             HELIX_ASSERT(job.deployment != nullptr);
             JobResult &out = results[i];
@@ -125,19 +152,9 @@ ExperimentRunner::run(const std::vector<Job> &jobs) const
             auto t1 = std::chrono::steady_clock::now();
             out.wallSeconds =
                 std::chrono::duration<double>(t1 - t0).count();
-        }
-    };
-
-    if (workers == 1) {
-        worker();
-        return results;
+        });
     }
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (int w = 0; w < workers; ++w)
-        pool.emplace_back(worker);
-    for (std::thread &t : pool)
-        t.join();
+    runTasks(tasks);
     return results;
 }
 
@@ -407,7 +424,32 @@ clusterByName(const std::string &name)
         return cluster::setups::highHeterogeneity42();
     if (name == "planner10")
         return cluster::setups::plannerCluster10();
+    if (name.rfind("gen:", 0) == 0) {
+        auto config = cluster::gen::parseGeneratorName(name);
+        if (!config)
+            return std::nullopt;
+        return cluster::gen::generate(*config);
+    }
     return std::nullopt;
+}
+
+std::optional<int>
+clusterNodeCountByName(const std::string &name)
+{
+    if (name.rfind("gen:", 0) == 0) {
+        auto config = cluster::gen::parseGeneratorName(name);
+        if (!config)
+            return std::nullopt;
+        const auto &presets = cluster::gen::presetNames();
+        if (std::find(presets.begin(), presets.end(),
+                      config->preset) == presets.end())
+            return std::nullopt;
+        return config->numNodes;
+    }
+    auto clus = clusterByName(name);
+    if (!clus)
+        return std::nullopt;
+    return clus->numNodes();
 }
 
 std::optional<model::TransformerSpec>
@@ -426,14 +468,90 @@ modelByName(const std::string &name)
     return std::nullopt;
 }
 
+namespace {
+
+/**
+ * Member names of a portfolio registry entry: the default set (every
+ * registry planner except the portfolio itself) for "portfolio", or
+ * the comma-separated list after "portfolio:". Nullopt when the list
+ * is malformed (empty members, or a nested portfolio).
+ */
+std::optional<std::vector<std::string>>
+portfolioMemberNames(const std::string &name)
+{
+    if (name == "portfolio") {
+        std::vector<std::string> members;
+        for (const std::string &entry : plannerNames()) {
+            if (entry != "portfolio")
+                members.push_back(entry);
+        }
+        return members;
+    }
+    std::vector<std::string> members;
+    std::string list = name.substr(std::string("portfolio:").size());
+    size_t at = 0;
+    while (at <= list.size()) {
+        size_t comma = list.find(',', at);
+        size_t end = comma == std::string::npos ? list.size() : comma;
+        std::string member = list.substr(at, end - at);
+        if (member.empty() ||
+            member.rfind("portfolio", 0) == 0)
+            return std::nullopt;
+        members.push_back(std::move(member));
+        if (comma == std::string::npos)
+            break;
+        at = comma + 1;
+    }
+    if (members.empty())
+        return std::nullopt;
+    return members;
+}
+
+} // namespace
+
 std::unique_ptr<placement::Planner>
-plannerByName(const std::string &name, double planner_budget_s)
+plannerByName(const std::string &name, double planner_budget_s,
+              int portfolio_threads)
 {
     if (name == "helix" || name == "helix-pruned") {
         placement::HelixPlannerConfig config;
         config.timeBudgetSeconds = planner_budget_s;
         config.usePruning = (name == "helix-pruned");
         return std::make_unique<placement::HelixPlanner>(config);
+    }
+    if (name == "helix-partitioned") {
+        placement::HelixPlannerConfig config;
+        config.timeBudgetSeconds = planner_budget_s;
+        return std::make_unique<placement::PartitionedPlanner>(config);
+    }
+    if (name == "portfolio" || name.rfind("portfolio:", 0) == 0) {
+        auto member_names = portfolioMemberNames(name);
+        if (!member_names)
+            return nullptr;
+        std::vector<placement::PortfolioMember> members;
+        members.reserve(member_names->size());
+        for (const std::string &member : *member_names) {
+            // Resolve once up front so unknown member names fail
+            // here (registry lookup), not mid-plan.
+            if (!plannerByName(member, planner_budget_s))
+                return nullptr;
+            members.push_back(
+                {member, [member](double search_budget_s) {
+                     return plannerByName(member, search_budget_s);
+                 }});
+        }
+        placement::PortfolioConfig config;
+        config.budgetS = planner_budget_s;
+        RunnerOptions pool;
+        pool.numThreads = portfolio_threads > 0
+                              ? portfolio_threads
+                              : static_cast<int>(members.size());
+        placement::TaskExecutor executor =
+            [pool](const std::vector<std::function<void()>> &tasks) {
+                ExperimentRunner(pool).runTasks(tasks);
+            };
+        return std::make_unique<placement::PortfolioPlanner>(
+            std::move(members), config, std::move(executor));
     }
     if (name == "swarm")
         return std::make_unique<placement::SwarmPlanner>();
@@ -487,8 +605,8 @@ const std::vector<std::string> &
 plannerNames()
 {
     static const std::vector<std::string> names = {
-        "helix", "helix-pruned", "swarm", "petals", "sp", "sp+",
-        "uniform"};
+        "helix", "helix-pruned", "helix-partitioned", "swarm",
+        "petals", "sp", "sp+", "uniform", "portfolio"};
     return names;
 }
 

@@ -16,6 +16,7 @@
 #ifndef HELIX_EXP_EXPERIMENT_H
 #define HELIX_EXP_EXPERIMENT_H
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -124,6 +125,16 @@ class ExperimentRunner
     /** Run every job; results align with the input order. */
     std::vector<JobResult> run(const std::vector<Job> &jobs) const;
 
+    /**
+     * Run arbitrary tasks on the pool; each task runs exactly once,
+     * and the call returns after all of them finish. Tasks must only
+     * touch their own state (the simulation path writes one result
+     * slot per job; the planner portfolio writes one report entry per
+     * member). run() is implemented on top of this.
+     */
+    void runTasks(const std::vector<std::function<void()>> &tasks)
+        const;
+
   private:
     RunnerOptions opts;
 };
@@ -161,9 +172,21 @@ std::string resultsToCsv(const std::vector<JobResult> &results);
 
 // --- Registries (declarative configs name their parts) -------------
 
-/** "single24", "geo24", "hetero42", "planner10". */
+/**
+ * "single24", "geo24", "hetero42", "planner10", plus generated
+ * clusters named "gen:<preset>:<nodes>[:<seed>]" (seed defaults to
+ * 42) — e.g. "gen:two-tier:300:7". Presets: cluster::gen::presetNames.
+ */
 std::optional<cluster::ClusterSpec> clusterByName(
     const std::string &name);
+
+/**
+ * Node count of the cluster @p name resolves to, without
+ * materializing it — for a generated cluster this skips building the
+ * O(nodes^2) link matrix, so validation of e.g. "gen:...:1000:7"
+ * stays O(1). Nullopt exactly when clusterByName would fail.
+ */
+std::optional<int> clusterNodeCountByName(const std::string &name);
 
 /** "llama30b", "llama70b", "gpt3-175b", "grok1-314b", "llama3-405b". */
 std::optional<model::TransformerSpec> modelByName(
@@ -171,11 +194,22 @@ std::optional<model::TransformerSpec> modelByName(
 
 /**
  * "helix" / "helix-pruned" (budgeted, the latter with bandwidth
- * pruning), "swarm", "petals", "sp", "sp+", "uniform".
+ * pruning), "helix-partitioned" (budgeted, region-partitioned),
+ * "swarm", "petals", "sp", "sp+", "uniform", and "portfolio" — all
+ * other registry planners raced concurrently under the budget (see
+ * placement/portfolio.h). "portfolio:<a>,<b>,..." restricts the
+ * member list (e.g. "portfolio:swarm,sp+,uniform"; members may not
+ * themselves be portfolios).
+ *
+ * @param portfolio_threads worker threads for a portfolio's member
+ *        race (0 = one thread per member); ignored by every other
+ *        planner. `helixctl plan --threads` and a spec's `threads`
+ *        land here.
  * @return a fresh planner instance, or nullptr for unknown names.
  */
 std::unique_ptr<placement::Planner> plannerByName(
-    const std::string &name, double planner_budget_s);
+    const std::string &name, double planner_budget_s,
+    int portfolio_threads = 0);
 
 /** Scheduler kind from its toString name. */
 std::optional<SchedulerKind> schedulerKindByName(

@@ -66,15 +66,18 @@ validateSpec(const io::ExperimentSpec &spec, io::ParseError *error)
 {
     int min_nodes = -1;
     for (const io::SpecName &name : spec.clusters) {
-        auto clus = clusterByName(name.value);
-        if (!clus) {
+        // Node-count lookup only: resolving a generated cluster here
+        // would materialize its O(nodes^2) link matrix just to
+        // validate the name.
+        auto num_nodes = clusterNodeCountByName(name.value);
+        if (!num_nodes) {
             setError(error, name.line,
                      "unknown cluster '" + name.value + "' (known: " +
                          joinNames(clusterNames()) + ")");
             return false;
         }
-        if (min_nodes < 0 || clus->numNodes() < min_nodes)
-            min_nodes = clus->numNodes();
+        if (min_nodes < 0 || *num_nodes < min_nodes)
+            min_nodes = *num_nodes;
     }
     for (const io::SpecName &name : spec.models) {
         if (!modelByName(name.value)) {
@@ -224,8 +227,12 @@ runSpec(const io::ExperimentSpec &spec, io::ParseError *error,
             std::vector<Deployment> deployments;
             deployments.reserve(planner_order.size());
             for (const std::string &planner_name : planner_order) {
+                // The thread count also caps a portfolio planner's
+                // member race, so `--threads 1` runs serially and a
+                // spec's results stay reproducible either way.
                 auto planner = plannerByName(planner_name,
-                                             spec.plannerBudgetS);
+                                             spec.plannerBudgetS,
+                                             options.numThreads);
                 deployments.emplace_back(*clus, *model_spec,
                                          *planner);
             }

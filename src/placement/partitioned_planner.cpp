@@ -1,6 +1,7 @@
 #include "placement/partitioned_planner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <numeric>
 
@@ -121,12 +122,24 @@ PartitionedPlanner::plan(const cluster::ClusterSpec &cluster,
     ModelPlacement placement;
     placement.nodes.assign(cluster.numNodes(), {0, 0});
 
-    HelixPlannerConfig inner_config = cfg;
-    inner_config.timeBudgetSeconds =
-        cfg.timeBudgetSeconds /
-        static_cast<double>(lastPartitions.size());
-
-    for (const Partition &members : lastPartitions) {
+    // Deadline-driven budget split: each partition gets an equal
+    // share of the budget *remaining* when it starts, so fixed
+    // per-partition overheads (sub-cluster construction, warm-start
+    // heuristics) eat into later shares instead of accumulating on
+    // top of the total — with many partitions the static
+    // budget/partitions split overran the budget by the summed
+    // overheads.
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t p = 0; p < lastPartitions.size(); ++p) {
+        const Partition &members = lastPartitions[p];
+        double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        HelixPlannerConfig inner_config = cfg;
+        inner_config.timeBudgetSeconds =
+            std::max(0.0, cfg.timeBudgetSeconds - elapsed) /
+            static_cast<double>(lastPartitions.size() - p);
         cluster::ClusterSpec sub = subCluster(cluster, members);
         HelixPlanner inner(inner_config);
         ModelPlacement sub_placement = inner.plan(sub, profiler);

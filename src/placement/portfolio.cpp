@@ -1,0 +1,112 @@
+#include "placement/portfolio.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "placement/placement_graph.h"
+#include "util/logging.h"
+
+namespace helix {
+namespace placement {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+seconds(Clock::time_point since)
+{
+    return std::chrono::duration<double>(Clock::now() - since).count();
+}
+
+} // namespace
+
+double
+flowThroughputBound(const cluster::ClusterSpec &cluster,
+                    const cluster::Profiler &profiler,
+                    const ModelPlacement &placement)
+{
+    if (static_cast<int>(placement.size()) != cluster.numNodes())
+        return 0.0;
+    PlacementGraph graph(cluster, profiler, placement);
+    return graph.maxThroughput();
+}
+
+PortfolioPlanner::PortfolioPlanner(std::vector<PortfolioMember> members_,
+                                   PortfolioConfig config,
+                                   TaskExecutor executor)
+    : members(std::move(members_)), cfg(config),
+      exec(std::move(executor))
+{
+}
+
+ModelPlacement
+PortfolioPlanner::plan(const cluster::ClusterSpec &cluster,
+                       const cluster::Profiler &profiler)
+{
+    const auto start = Clock::now();
+    lastReport = PortfolioReport{};
+    lastReport.budgetS = cfg.budgetS;
+    lastReport.entries.resize(members.size());
+
+    // One task per member; each task owns exactly its entry slot, so
+    // the executor may run them in any order on any threads.
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(members.size());
+    for (size_t i = 0; i < members.size(); ++i) {
+        tasks.push_back([this, i, start, &cluster, &profiler]() {
+            const auto member_start = Clock::now();
+            PortfolioEntry &entry = lastReport.entries[i];
+            entry.planner = members[i].name;
+            double remaining =
+                std::max(0.0, cfg.budgetS - seconds(start));
+            double search_budget =
+                remaining *
+                std::clamp(1.0 - cfg.scoreReserveFraction, 0.0, 1.0);
+            std::unique_ptr<Planner> planner =
+                members[i].make(search_budget);
+            if (!planner) {
+                entry.wallSeconds = seconds(member_start);
+                return;
+            }
+            entry.placement = planner->plan(cluster, profiler);
+            entry.feasible =
+                placementValid(entry.placement, cluster, profiler);
+            entry.flowBound =
+                flowThroughputBound(cluster, profiler, entry.placement);
+            entry.wallSeconds = seconds(member_start);
+        });
+    }
+    if (exec) {
+        exec(tasks);
+    } else {
+        for (const auto &task : tasks)
+            task();
+    }
+
+    // Deterministic argmax: feasible beats infeasible, then strictly
+    // higher flow bound; ties go to the earliest member. Independent
+    // of the order the tasks actually ran in.
+    int best = -1;
+    for (size_t i = 0; i < lastReport.entries.size(); ++i) {
+        const PortfolioEntry &entry = lastReport.entries[i];
+        if (best < 0) {
+            best = static_cast<int>(i);
+            continue;
+        }
+        const PortfolioEntry &incumbent = lastReport.entries[best];
+        if ((entry.feasible && !incumbent.feasible) ||
+            (entry.feasible == incumbent.feasible &&
+             entry.flowBound > incumbent.flowBound)) {
+            best = static_cast<int>(i);
+        }
+    }
+    lastReport.bestIndex = best;
+    lastReport.wallSeconds = seconds(start);
+    if (best < 0)
+        return ModelPlacement{};
+    return lastReport.entries[best].placement;
+}
+
+} // namespace placement
+} // namespace helix

@@ -19,6 +19,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "cluster/generator.h"
 #include "exp/spec.h"
 #include "io/serialization.h"
 #include "io/spec.h"
@@ -88,11 +89,14 @@ TEST_F(CliTest, ValidateAcceptsShippedExamples)
 {
     CmdResult result = helixctl("validate " +
                                 examplePath("fig6.exp") + " " +
-                                examplePath("sweep.exp"));
+                                examplePath("sweep.exp") + " " +
+                                examplePath("portfolio.exp"));
     EXPECT_EQ(result.exitCode, 0) << result.err;
     EXPECT_NE(result.out.find("fig6.exp: OK"), std::string::npos)
         << result.out;
     EXPECT_NE(result.out.find("sweep.exp: OK"), std::string::npos)
+        << result.out;
+    EXPECT_NE(result.out.find("portfolio.exp: OK"), std::string::npos)
         << result.out;
 }
 
@@ -236,10 +240,131 @@ TEST_F(CliTest, ListDumpsEveryRegistry)
     EXPECT_EQ(result.exitCode, 0);
     for (const char *needle :
          {"single24", "hetero42", "llama30b", "llama3-405b",
-          "helix-pruned", "uniform", "shortest-queue", "offline",
-          "online-peak", "churn"}) {
+          "helix-pruned", "helix-partitioned", "portfolio", "uniform",
+          "shortest-queue", "offline", "online-peak", "churn",
+          "gen:<preset>:<nodes>[:<seed>]", "homogeneous", "two-tier",
+          "long-tail-heterogeneous", "geo-distributed"}) {
         EXPECT_NE(result.out.find(needle), std::string::npos)
             << needle;
+    }
+}
+
+TEST_F(CliTest, VersionIsPrinted)
+{
+    CmdResult result = helixctl("--version");
+    EXPECT_EQ(result.exitCode, 0);
+    EXPECT_EQ(result.out.rfind("helixctl ", 0), 0u) << result.out;
+    EXPECT_GT(result.out.size(), std::string("helixctl \n").size());
+    // `helixctl version` is an accepted spelling of the same thing.
+    EXPECT_EQ(helixctl("version").out, result.out);
+}
+
+/**
+ * Every subcommand documents itself with --help (exit 0, synopsis on
+ * stdout). The asserted fragments are the flag lines from the
+ * normative help strings in src/cli/helixctl.cpp, so the CLI's
+ * self-documentation cannot silently drift from its argument parser.
+ */
+TEST_F(CliTest, EverySubcommandPrintsHelp)
+{
+    struct HelpCase
+    {
+        const char *cmd;
+        std::vector<const char *> fragments;
+    };
+    const HelpCase cases[] = {
+        {"run",
+         {"usage: helixctl run <spec.exp>", "--csv FILE",
+          "--json FILE", "--threads N"}},
+        {"plan",
+         {"usage: helixctl plan <cluster> <model>", "--planner NAME",
+          "--budget SECONDS", "--threads N", "--out FILE",
+          "gen:<preset>:<nodes>[:<seed>]"}},
+        {"gen-cluster",
+         {"usage: helixctl gen-cluster <preset>", "--nodes N",
+          "--seed S", "--out FILE",
+          "homogeneous, two-tier, long-tail-heterogeneous, "
+          "geo-distributed"}},
+        {"validate",
+         {"usage: helixctl validate <spec.exp>",
+          "'<path>:<line>: <message>'"}},
+        {"list", {"usage: helixctl list", "Dump every registry"}},
+    };
+    for (const HelpCase &c : cases) {
+        for (const char *flag : {"--help", "-h"}) {
+            CmdResult result =
+                helixctl(std::string(c.cmd) + " " + flag);
+            EXPECT_EQ(result.exitCode, 0) << c.cmd;
+            for (const char *fragment : c.fragments) {
+                EXPECT_NE(result.out.find(fragment),
+                          std::string::npos)
+                    << c.cmd << " " << flag << ": missing '"
+                    << fragment << "' in:\n"
+                    << result.out;
+            }
+        }
+    }
+}
+
+TEST_F(CliTest, GenClusterWritesADeterministicClusterArtifact)
+{
+    std::string out_path = tempPath("gen.cluster");
+    CmdResult result = helixctl(
+        "gen-cluster two-tier --nodes 12 --seed 7 --out " + out_path);
+    ASSERT_EQ(result.exitCode, 0) << result.err;
+    EXPECT_NE(result.err.find("generated two-tier cluster (seed 7)"),
+              std::string::npos)
+        << result.err;
+    auto text = io::readFile(out_path);
+    std::remove(out_path.c_str());
+    ASSERT_TRUE(text.has_value());
+
+    // The artifact is valid `cluster v1` and byte-identical to the
+    // in-process generator (and therefore to a re-run of the CLI).
+    io::ParseError error;
+    auto clus = io::clusterFromString(*text, error);
+    ASSERT_TRUE(clus.has_value()) << error.str();
+    EXPECT_EQ(clus->numNodes(), 12);
+    cluster::gen::GeneratorConfig config;
+    config.preset = "two-tier";
+    config.numNodes = 12;
+    config.seed = 7;
+    auto direct = cluster::gen::generate(config);
+    ASSERT_TRUE(direct.has_value());
+    EXPECT_EQ(*text, io::clusterToString(*direct));
+
+    // The spec registry resolves the same cluster by name.
+    auto by_name = exp::clusterByName("gen:two-tier:12:7");
+    ASSERT_TRUE(by_name.has_value());
+    EXPECT_EQ(*text, io::clusterToString(*by_name));
+}
+
+/**
+ * The portfolio determinism criterion at the CLI surface: with
+ * deterministic members, `helixctl plan --planner portfolio:...`
+ * writes a byte-identical `placement v1` artifact whether the member
+ * race runs on 1, 4, or 16 threads.
+ */
+TEST_F(CliTest, PlanPortfolioIsByteIdenticalAcrossThreadCounts)
+{
+    std::string reference;
+    for (const char *threads : {"1", "4", "16"}) {
+        std::string out_path = tempPath("portfolio.placement");
+        CmdResult result = helixctl(
+            "plan gen:two-tier:16:7 llama30b "
+            "--planner portfolio:swarm,petals,sp+,uniform "
+            "--budget 0.1 --threads " +
+            std::string(threads) + " --out " + out_path);
+        ASSERT_EQ(result.exitCode, 0) << result.err;
+        auto text = io::readFile(out_path);
+        std::remove(out_path.c_str());
+        ASSERT_TRUE(text.has_value());
+        io::ParseError error;
+        EXPECT_TRUE(io::placementFromString(*text, error).has_value())
+            << error.str();
+        if (reference.empty())
+            reference = *text;
+        EXPECT_EQ(*text, reference) << threads << " threads";
     }
 }
 
@@ -253,8 +378,19 @@ TEST_F(CliTest, UsageAndFailureExitCodes)
     EXPECT_EQ(helixctl("plan planner10 llama30b --budget abc")
                   .exitCode,
               2);
+    EXPECT_EQ(helixctl("plan planner10 llama30b --threads abc")
+                  .exitCode,
+              2);
     EXPECT_EQ(helixctl("plan nimbus9000 llama30b").exitCode, 1);
+    EXPECT_EQ(helixctl("plan planner10 llama30b --planner portfolio:")
+                  .exitCode,
+              1);
     EXPECT_EQ(helixctl("validate /nonexistent/spec.exp").exitCode, 1);
+    EXPECT_EQ(helixctl("gen-cluster").exitCode, 2);
+    EXPECT_EQ(helixctl("gen-cluster two-tier --nodes abc").exitCode,
+              2);
+    EXPECT_EQ(helixctl("gen-cluster two-tier --nodes 0").exitCode, 2);
+    EXPECT_EQ(helixctl("gen-cluster warehouse").exitCode, 1);
 }
 
 } // namespace

@@ -131,7 +131,8 @@ TEST(SpecGolden, SweepAxesParsesToCartesianMode)
 
 TEST(SpecGolden, ShippedExamplesParseAndValidate)
 {
-    for (const char *name : {"fig6.exp", "sweep.exp"}) {
+    for (const char *name :
+         {"fig6.exp", "sweep.exp", "portfolio.exp"}) {
         auto text = io::readFile(examplePath(name));
         ASSERT_TRUE(text.has_value()) << name;
         io::ParseError error;
@@ -348,7 +349,8 @@ TEST(SpecValidate, UnknownNamesReportTheirSpecLine)
     EXPECT_EQ(error.line, 4);
     EXPECT_EQ(error.message,
               "system 'a' names unknown planner 'gurobi' (known: "
-              "helix, helix-pruned, swarm, petals, sp, sp+, uniform)");
+              "helix, helix-pruned, helix-partitioned, swarm, petals, "
+              "sp, sp+, uniform, portfolio)");
 }
 
 TEST(SpecValidate, ChurnNodeMustBeAnIntegerIndex)
@@ -539,6 +541,77 @@ TEST(DocFileFormats, ExperimentExampleParsesAndValidates)
     auto reparsed = io::experimentFromString(canonical);
     ASSERT_TRUE(reparsed.has_value());
     EXPECT_EQ(io::experimentToString(*reparsed), canonical);
+}
+
+TEST(DocFileFormats, PortfolioGeneratedClusterExampleValidates)
+{
+    // Byte-for-byte the "planner portfolio on a generated cluster"
+    // worked example in docs/FILE_FORMATS.md.
+    const std::string example =
+        "experiment v1\n"
+        "name portfolio-scale\n"
+        "output csv\n"
+        "seed 42\n"
+        "warmup 30\n"
+        "measure 120\n"
+        "planner-budget 2\n"
+        "cluster gen:long-tail-heterogeneous:100:7\n"
+        "model llama30b\n"
+        "system portfolio portfolio helix\n"
+        "system helix     helix     helix\n"
+        "scenario offline\n";
+    io::ParseError error;
+    auto spec = io::experimentFromString(example, error);
+    ASSERT_TRUE(spec.has_value()) << error.str();
+    EXPECT_TRUE(exp::validateSpec(*spec, &error)) << error.str();
+    EXPECT_EQ(spec->name, "portfolio-scale");
+    EXPECT_DOUBLE_EQ(spec->plannerBudgetS, 2.0);
+    ASSERT_EQ(spec->clusters.size(), 1u);
+    EXPECT_EQ(spec->clusters[0].value,
+              "gen:long-tail-heterogeneous:100:7");
+    ASSERT_EQ(spec->systems.size(), 2u);
+    EXPECT_EQ(spec->systems[0].planner, "portfolio");
+    // Canonical re-serialization is stable.
+    std::string canonical = io::experimentToString(*spec);
+    auto reparsed = io::experimentFromString(canonical);
+    ASSERT_TRUE(reparsed.has_value());
+    EXPECT_EQ(io::experimentToString(*reparsed), canonical);
+}
+
+TEST(SpecValidate, GeneratedClusterNamesResolveWithLineErrors)
+{
+    // A well-formed generator name validates like any registry name.
+    auto good = io::experimentFromString(
+        "experiment v1\ncluster gen:two-tier:12:7\nmodel llama30b\n"
+        "system a swarm helix\nscenario offline\n");
+    ASSERT_TRUE(good.has_value());
+    io::ParseError error;
+    EXPECT_TRUE(exp::validateSpec(*good, &error)) << error.str();
+
+    // Unknown presets / malformed node counts report the spec line.
+    for (const char *bad_name :
+         {"gen:warehouse:12", "gen:two-tier:0", "gen:two-tier"}) {
+        auto bad = io::experimentFromString(
+            std::string("experiment v1\ncluster ") + bad_name +
+            "\nmodel llama30b\n"
+            "system a swarm helix\nscenario offline\n");
+        ASSERT_TRUE(bad.has_value()) << bad_name;
+        EXPECT_FALSE(exp::validateSpec(*bad, &error)) << bad_name;
+        EXPECT_EQ(error.line, 2) << bad_name;
+        EXPECT_EQ(error.message.rfind("unknown cluster 'gen:", 0), 0u)
+            << error.message;
+    }
+
+    // The churn node-range check sees the generated cluster's size.
+    auto churn = io::experimentFromString(
+        "experiment v1\ncluster gen:two-tier:12:7\nmodel llama30b\n"
+        "system a swarm helix\nscenario churn node=12\n");
+    ASSERT_TRUE(churn.has_value());
+    EXPECT_FALSE(exp::validateSpec(*churn, &error));
+    EXPECT_EQ(error.line, 5);
+    EXPECT_EQ(error.message,
+              "churn node index 12 is out of range for the smallest "
+              "declared cluster (12 nodes)");
 }
 
 // --- Engine equivalence ---------------------------------------------
