@@ -92,6 +92,41 @@ BM_Simulator(benchmark::State &state)
 }
 BENCHMARK(BM_Simulator)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
 
+/**
+ * The same workload under a fail -> recover churn schedule: adds two
+ * preflow-push re-solves on the surviving subgraph plus the request
+ * restarts, so the cost of dynamic topology adaptation is directly
+ * comparable against the churn-free baseline above.
+ */
+void
+BM_SimulatorChurn(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    SimBenchFixture fx(n, 10.0);
+    sim::SimConfig config;
+    config.warmupSeconds = 2.0;
+    config.measureSeconds = 120.0;
+    config.churnEvents = {
+        {sim::ChurnEvent::Kind::Fail, 1, 5.0},
+        {sim::ChurnEvent::Kind::Recover, 1, 15.0},
+    };
+    long restarts = 0;
+    for (auto _ : state) {
+        scheduler::HelixScheduler sched(*fx.topo);
+        sim::ClusterSimulator sim(fx.clus, *fx.profiler, fx.placement,
+                                  sched, config);
+        auto metrics = sim.run(fx.requests);
+        restarts += metrics.requestsRestarted;
+        benchmark::DoNotOptimize(metrics);
+    }
+    state.counters["restarts"] = static_cast<double>(
+        restarts / std::max<long>(1, state.iterations()));
+}
+BENCHMARK(BM_SimulatorChurn)
+    ->Arg(100)
+    ->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
 /** Trace generation throughput (length sampling + arrival process). */
 void
 BM_TraceGenerate(benchmark::State &state)

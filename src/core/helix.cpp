@@ -160,6 +160,7 @@ runExperiment(const Deployment &deployment,
     sim_config.collectLinkStats = config.collectLinkStats;
     sim_config.failNodeIndex = config.failNodeIndex;
     sim_config.failAtSeconds = config.failAtSeconds;
+    sim_config.churnEvents = config.churnEvents;
     sim::ClusterSimulator simulator(
         deployment.clusterSpec(), deployment.profiler(),
         deployment.placement(), scheduler, sim_config);

@@ -140,10 +140,15 @@ struct RunConfig
     double burstMultiplier = 5.0;
     double burstMeanS = 30.0;
     double burstGapS = 270.0;
-    /** Node-churn scenario forwarded to sim::SimConfig: node
+    /** Legacy single-failure churn forwarded to sim::SimConfig: node
      *  failNodeIndex fails at failAtSeconds. Negative = disabled. */
     int failNodeIndex = -1;
     double failAtSeconds = -1.0;
+    /** Churn event schedule (fail/recover, absolute seconds),
+     *  forwarded to sim::SimConfig::churnEvents. Each event re-solves
+     *  max-flow on the surviving subgraph and swaps the fresh
+     *  topology into the scheduler. */
+    std::vector<sim::ChurnEvent> churnEvents;
 };
 
 /**

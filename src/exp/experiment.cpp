@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <sstream>
 #include <thread>
 
@@ -32,6 +34,12 @@ Scenario::toRun(double warmup_s, double measure_s,
     run.failNodeIndex = failNodeIndex;
     if (failNodeIndex >= 0 && failAtFraction >= 0.0)
         run.failAtSeconds = failAtFraction * (warmup_s + measure_s);
+    run.churnEvents.reserve(churnSchedule.size());
+    for (const ChurnEventFrac &event : churnSchedule) {
+        run.churnEvents.push_back(
+            {event.kind, event.node,
+             event.atFraction * (warmup_s + measure_s)});
+    }
     return run;
 }
 
@@ -76,6 +84,17 @@ nodeChurn(int node, double at_fraction, bool online_mode)
     s.online = online_mode;
     s.failNodeIndex = node;
     s.failAtFraction = at_fraction;
+    return s;
+}
+
+Scenario
+churnSchedule(std::vector<Scenario::ChurnEventFrac> events,
+              bool online_mode)
+{
+    Scenario s;
+    s.name = "node-churn";
+    s.online = online_mode;
+    s.churnSchedule = std::move(events);
     return s;
 }
 
@@ -256,6 +275,38 @@ num(double value)
     return buf;
 }
 
+/**
+ * A latency statistic, or NaN when the accumulator holds no samples.
+ * StatAccumulator returns 0.0 on empty, which in emitted output is
+ * indistinguishable from a true zero-latency measurement; the
+ * emitters turn the NaN into an empty CSV field / JSON null so
+ * downstream analysis can tell "no data" from "zero".
+ */
+double
+statOrNan(const StatAccumulator &stat, double value)
+{
+    return stat.count() > 0
+               ? value
+               : std::numeric_limits<double>::quiet_NaN();
+}
+
+/** Compact churn log: "fail:1@33=1234.5;recover:1@66=2345.6". */
+std::string
+formatChurnEvents(const sim::SimMetrics &metrics)
+{
+    std::string out;
+    for (const sim::SimMetrics::FlowEvent &event :
+         metrics.flowEvents) {
+        if (!out.empty())
+            out += ';';
+        out += sim::toString(event.kind);
+        out += ':' + std::to_string(event.node);
+        out += '@' + num(event.time);
+        out += '=' + num(event.flow);
+    }
+    return out;
+}
+
 /** The flat metric columns shared by the JSON and CSV emitters. */
 struct MetricColumn
 {
@@ -271,32 +322,44 @@ const MetricColumn kColumns[] = {
     {"prompt_throughput",
      [](const JobResult &r) { return r.metrics.promptThroughput; }},
     {"prompt_latency_mean",
-     [](const JobResult &r) { return r.metrics.promptLatency.mean(); }},
+     [](const JobResult &r) {
+         return statOrNan(r.metrics.promptLatency,
+                          r.metrics.promptLatency.mean());
+     }},
     {"prompt_latency_p50",
      [](const JobResult &r) {
-         return r.metrics.promptLatency.percentile(50);
+         return statOrNan(r.metrics.promptLatency,
+                          r.metrics.promptLatency.percentile(50));
      }},
     {"prompt_latency_p95",
      [](const JobResult &r) {
-         return r.metrics.promptLatency.percentile(95);
+         return statOrNan(r.metrics.promptLatency,
+                          r.metrics.promptLatency.percentile(95));
      }},
     {"prompt_latency_p99",
      [](const JobResult &r) {
-         return r.metrics.promptLatency.percentile(99);
+         return statOrNan(r.metrics.promptLatency,
+                          r.metrics.promptLatency.percentile(99));
      }},
     {"decode_latency_mean",
-     [](const JobResult &r) { return r.metrics.decodeLatency.mean(); }},
+     [](const JobResult &r) {
+         return statOrNan(r.metrics.decodeLatency,
+                          r.metrics.decodeLatency.mean());
+     }},
     {"decode_latency_p50",
      [](const JobResult &r) {
-         return r.metrics.decodeLatency.percentile(50);
+         return statOrNan(r.metrics.decodeLatency,
+                          r.metrics.decodeLatency.percentile(50));
      }},
     {"decode_latency_p95",
      [](const JobResult &r) {
-         return r.metrics.decodeLatency.percentile(95);
+         return statOrNan(r.metrics.decodeLatency,
+                          r.metrics.decodeLatency.percentile(95));
      }},
     {"decode_latency_p99",
      [](const JobResult &r) {
-         return r.metrics.decodeLatency.percentile(99);
+         return statOrNan(r.metrics.decodeLatency,
+                          r.metrics.decodeLatency.percentile(99));
      }},
     {"requests_arrived",
      [](const JobResult &r) {
@@ -370,8 +433,22 @@ resultsToJson(const std::vector<JobResult> &results)
                 << "\": \"" << jsonEscape(col.get(r)) << '"';
             first = false;
         }
-        for (const MetricColumn &col : kColumns)
-            out << ", \"" << col.name << "\": " << num(col.get(r));
+        out << ", \"churn_events\": [";
+        for (size_t e = 0; e < r.metrics.flowEvents.size(); ++e) {
+            const sim::SimMetrics::FlowEvent &event =
+                r.metrics.flowEvents[e];
+            out << (e == 0 ? "" : ", ") << "{\"kind\": \""
+                << sim::toString(event.kind) << "\", \"node\": "
+                << event.node << ", \"time\": " << num(event.time)
+                << ", \"flow\": " << num(event.flow) << "}";
+        }
+        out << "]";
+        for (const MetricColumn &col : kColumns) {
+            double value = col.get(r);
+            // Zero-sample statistics emit null, not a fake 0.
+            out << ", \"" << col.name << "\": "
+                << (std::isnan(value) ? "null" : num(value));
+        }
         out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
     }
     out << "]\n";
@@ -387,27 +464,39 @@ resultsToCsv(const std::vector<JobResult> &results)
         out << (first ? "" : ",") << col.name;
         first = false;
     }
+    out << ",churn_events";
     for (const MetricColumn &col : kColumns)
         out << ',' << col.name;
     out << '\n';
     for (const JobResult &r : results) {
-        first = true;
-        for (const StringColumn &col : kStringColumns) {
-            if (!first)
-                out << ',';
-            first = false;
+        auto quoted = [&out](const std::string &field) {
             // Quote string fields (cluster summaries contain commas)
             // and double embedded quotes per RFC 4180.
             out << '"';
-            for (char c : col.get(r)) {
+            for (char c : field) {
                 if (c == '"')
                     out << '"';
                 out << c;
             }
             out << '"';
+        };
+        first = true;
+        for (const StringColumn &col : kStringColumns) {
+            if (!first)
+                out << ',';
+            first = false;
+            quoted(col.get(r));
         }
-        for (const MetricColumn &col : kColumns)
-            out << ',' << num(col.get(r));
+        out << ',';
+        quoted(formatChurnEvents(r.metrics));
+        for (const MetricColumn &col : kColumns) {
+            double value = col.get(r);
+            out << ',';
+            // Zero-sample statistics emit an empty field, not a
+            // fake 0.
+            if (!std::isnan(value))
+                out << num(value);
+        }
         out << '\n';
     }
     return out.str();

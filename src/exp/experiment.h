@@ -45,11 +45,24 @@ struct Scenario
     double burstMeanS = 30.0;
     double burstGapS = 270.0;
     /**
-     * Node churn: the node with this index fails at
+     * Legacy single-failure churn: the node with this index fails at
      * failAtFraction * (warmup + measure). Negative = disabled.
      */
     int failNodeIndex = -1;
     double failAtFraction = -1.0;
+    /** One churn event at a fraction of the run horizon. */
+    struct ChurnEventFrac
+    {
+        sim::ChurnEvent::Kind kind = sim::ChurnEvent::Kind::Fail;
+        int node = -1;
+        double atFraction = 0.0;
+    };
+    /**
+     * Churn event schedule (fail/recover). Materialized alongside the
+     * legacy pair: each event lands at atFraction * (warmup + measure)
+     * seconds in RunConfig::churnEvents.
+     */
+    std::vector<ChurnEventFrac> churnSchedule;
 
     /** Materialize as a RunConfig at the given scale. */
     RunConfig toRun(double warmup_s, double measure_s,
@@ -73,6 +86,13 @@ Scenario bursty(double burst_multiplier = 5.0,
 /** Node @p node fails at @p at_fraction of the run horizon. */
 Scenario nodeChurn(int node, double at_fraction = 0.3,
                    bool online = true);
+
+/**
+ * Churn with an explicit fail/recover schedule (fractions of the run
+ * horizon, in non-decreasing time order).
+ */
+Scenario churnSchedule(
+    std::vector<Scenario::ChurnEventFrac> events, bool online = true);
 
 /** All catalog entries (churn applied to node 0 at 30%). */
 std::vector<Scenario> all();

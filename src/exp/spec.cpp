@@ -125,28 +125,90 @@ validateSpec(const io::ExperimentSpec &spec, io::ParseError *error)
     for (const io::ScenarioSpec &scenario : spec.scenarios) {
         if (scenario.kind != "churn")
             continue;
-        double node_value = scenario.get("node", -1.0);
-        if (node_value != std::floor(node_value)) {
-            setError(error, scenario.line,
-                     "churn node=" + std::to_string(node_value) +
-                         " must be an integer node index");
-            return false;
+        if (scenario.has("node")) {
+            double node_value = scenario.get("node", -1.0);
+            if (node_value != std::floor(node_value)) {
+                setError(error, scenario.line,
+                         "churn node=" + std::to_string(node_value) +
+                             " must be an integer node index");
+                return false;
+            }
+            int node = static_cast<int>(node_value);
+            if (node < 0 || (min_nodes >= 0 && node >= min_nodes)) {
+                setError(error, scenario.line,
+                         "churn node index " + std::to_string(node) +
+                             " is out of range for the smallest "
+                             "declared cluster (" +
+                             std::to_string(min_nodes) + " nodes)");
+                return false;
+            }
+            double at = scenario.get("at", 0.3);
+            if (at < 0.0 || at > 1.0) {
+                setError(error, scenario.line,
+                         "churn at=" + std::to_string(at) +
+                             " must be a fraction of the run in "
+                             "[0, 1]");
+                return false;
+            }
         }
-        int node = static_cast<int>(node_value);
-        if (node < 0 || (min_nodes >= 0 && node >= min_nodes)) {
-            setError(error, scenario.line,
-                     "churn node index " + std::to_string(node) +
-                         " is out of range for the smallest declared "
-                         "cluster (" + std::to_string(min_nodes) +
-                         " nodes)");
-            return false;
-        }
-        double at = scenario.get("at", 0.3);
-        if (at < 0.0 || at > 1.0) {
-            setError(error, scenario.line,
-                     "churn at=" + std::to_string(at) +
-                         " must be a fraction of the run in [0, 1]");
-            return false;
+        // Event schedule: every event's node must exist in every
+        // declared cluster, times must be fractions declared in
+        // non-decreasing order, and the fail/recover alternation must
+        // be consistent per node (no double fail, no recover of a
+        // node that never failed).
+        double prev_at = -1.0;
+        std::vector<int> dead;
+        for (const io::ChurnEventSpec &event : scenario.events) {
+            const std::string what =
+                std::string(event.fail ? "fail=" : "recover=") +
+                std::to_string(event.node) + "@" +
+                std::to_string(event.atFraction);
+            if (event.node < 0 ||
+                (min_nodes >= 0 && event.node >= min_nodes)) {
+                setError(error, event.line,
+                         "churn event node index " +
+                             std::to_string(event.node) +
+                             " is out of range for the smallest "
+                             "declared cluster (" +
+                             std::to_string(min_nodes) + " nodes)");
+                return false;
+            }
+            if (event.atFraction < 0.0 || event.atFraction > 1.0) {
+                setError(error, event.line,
+                         "churn event " + what +
+                             " must occur at a fraction of the run "
+                             "in [0, 1]");
+                return false;
+            }
+            if (event.atFraction < prev_at) {
+                setError(error, event.line,
+                         "churn event " + what +
+                             " is out of order: events must be "
+                             "declared in non-decreasing time order");
+                return false;
+            }
+            prev_at = event.atFraction;
+            auto found =
+                std::find(dead.begin(), dead.end(), event.node);
+            if (event.fail) {
+                if (found != dead.end()) {
+                    setError(error, event.line,
+                             "churn event " + what +
+                                 " fails a node that is already "
+                                 "failed");
+                    return false;
+                }
+                dead.push_back(event.node);
+            } else {
+                if (found == dead.end()) {
+                    setError(error, event.line,
+                             "churn event " + what +
+                                 " recovers a node with no earlier "
+                                 "fail event");
+                    return false;
+                }
+                dead.erase(found);
+            }
         }
     }
     return true;
@@ -167,10 +229,23 @@ scenarioRunConfig(const io::ExperimentSpec &spec,
                                     scenario.get("burst", 30.0),
                                     scenario.get("gap", 270.0));
     } else if (scenario.kind == "churn") {
-        catalog = scenarios::nodeChurn(
-            static_cast<int>(scenario.get("node", 0.0)),
-            scenario.get("at", 0.3),
-            scenario.get("online", 1.0) != 0.0);
+        bool online_mode = scenario.get("online", 1.0) != 0.0;
+        if (scenario.events.empty()) {
+            catalog = scenarios::nodeChurn(
+                static_cast<int>(scenario.get("node", 0.0)),
+                scenario.get("at", 0.3), online_mode);
+        } else {
+            std::vector<Scenario::ChurnEventFrac> events;
+            events.reserve(scenario.events.size());
+            for (const io::ChurnEventSpec &event : scenario.events) {
+                events.push_back(
+                    {event.fail ? sim::ChurnEvent::Kind::Fail
+                                : sim::ChurnEvent::Kind::Recover,
+                     event.node, event.atFraction});
+            }
+            catalog = scenarios::churnSchedule(std::move(events),
+                                               online_mode);
+        }
     } else { // online-peak
         catalog.name = "online-peak";
         catalog.online = true;

@@ -46,7 +46,8 @@ scenarioOptionKeys(const std::string &kind)
         keys.insert(keys.end(),
                     {"utilization", "multiplier", "burst", "gap"});
     } else if (kind == "churn") {
-        keys.insert(keys.end(), {"utilization", "node", "at", "online"});
+        keys.insert(keys.end(), {"utilization", "node", "at", "online",
+                                 "fail", "recover"});
     } else if (kind == "online-peak") {
         keys.push_back("fraction");
     }
@@ -94,6 +95,10 @@ experimentToString(const ExperimentSpec &spec)
         out << "scenario " << scenario.kind;
         for (const auto &option : scenario.options)
             out << " " << option.first << "=" << num(option.second);
+        for (const ChurnEventSpec &event : scenario.events) {
+            out << " " << (event.fail ? "fail=" : "recover=")
+                << event.node << "@" << num(event.atFraction);
+        }
         out << "\n";
     }
     return out.str();
@@ -255,6 +260,28 @@ experimentFromString(const std::string &text, ParseError &error)
                                        joinNames(known) + ")"};
                     return std::nullopt;
                 }
+                if (key == "fail" || key == "recover") {
+                    // Churn events are repeatable and carry a
+                    // <node>@<fraction> value instead of a number.
+                    const std::string raw = toks[i].substr(eq + 1);
+                    size_t at = raw.find('@');
+                    ChurnEventSpec event;
+                    event.fail = key == "fail";
+                    event.line = line;
+                    if (at == std::string::npos || at == 0 ||
+                        at + 1 >= raw.size() ||
+                        !parseInt(raw.substr(0, at), event.node) ||
+                        !parseDouble(raw.substr(at + 1),
+                                     event.atFraction)) {
+                        error = {line,
+                                 "scenario option '" + key +
+                                     "' must be <node>@<fraction>, "
+                                     "got '" + raw + "'"};
+                        return std::nullopt;
+                    }
+                    scenario.events.push_back(event);
+                    continue;
+                }
                 if (scenario.has(key)) {
                     error = {line, "duplicate scenario option '" +
                                        key + "'"};
@@ -289,10 +316,22 @@ experimentFromString(const std::string &text, ParseError &error)
                 }
                 scenario.options.emplace_back(std::move(key), value);
             }
-            if (scenario.kind == "churn" && !scenario.has("node")) {
-                error = {line,
-                         "churn scenario requires node=<index>"};
-                return std::nullopt;
+            if (scenario.kind == "churn") {
+                bool legacy = scenario.has("node") ||
+                              scenario.has("at");
+                if (legacy && !scenario.events.empty()) {
+                    error = {line,
+                             "churn scenario cannot mix node=/at= "
+                             "with fail=/recover= events"};
+                    return std::nullopt;
+                }
+                if (!scenario.has("node") &&
+                    scenario.events.empty()) {
+                    error = {line,
+                             "churn scenario requires node=<index> "
+                             "or fail=<node>@<fraction> events"};
+                    return std::nullopt;
+                }
             }
             spec.scenarios.push_back(std::move(scenario));
         } else {

@@ -68,12 +68,36 @@ struct SystemSpec
     int line = 0;
 };
 
+/**
+ * One churn event from a `fail=<node>@<fraction>` or
+ * `recover=<node>@<fraction>` scenario option (churn scenarios only;
+ * repeatable, in declaration order).
+ */
+struct ChurnEventSpec
+{
+    /** True for `fail=`, false for `recover=`. */
+    bool fail = true;
+    int node = -1;
+    /** Event time as a fraction of (warmup + measure), in [0, 1]. */
+    double atFraction = 0.0;
+    int line = 0;
+
+    bool operator==(const ChurnEventSpec &other) const
+    {
+        return fail == other.fail && node == other.node &&
+               atFraction == other.atFraction;
+    }
+};
+
 /** One `scenario <kind> [key=value ...]` line. */
 struct ScenarioSpec
 {
     std::string kind;
     /** Options in declaration order (serialization round-trips). */
     std::vector<std::pair<std::string, double>> options;
+    /** Churn schedule (`fail=`/`recover=` options, declaration
+     *  order). Only populated for kind == "churn". */
+    std::vector<ChurnEventSpec> events;
     int line = 0;
 
     bool has(const std::string &key) const;

@@ -8,6 +8,16 @@
 namespace helix {
 namespace scheduler {
 
+const Topology &
+RequestScheduler::adoptTopology(const Topology &topology)
+{
+    // Construct the copy before assigning: the unique_ptr assignment
+    // releases the old owned topology only after the new one exists,
+    // so an aliasing @p topology is copied safely.
+    ownedTopo = std::make_unique<Topology>(topology);
+    return *ownedTopo;
+}
+
 bool
 pipelineValid(const Pipeline &pipeline, int num_layers)
 {
@@ -81,9 +91,17 @@ Topology::kvBytesPerTokenPerLayer() const
 
 KvEstimator::KvEstimator(const Topology &topology, double avg_output_len,
                          double high_water_mark)
-    : topo(topology), avgOutputLen(avg_output_len),
+    : topo(&topology), avgOutputLen(avg_output_len),
       highWaterMark(high_water_mark), usage(topology.numNodes(), 0.0)
 {
+}
+
+void
+KvEstimator::rebind(const Topology &topology)
+{
+    HELIX_ASSERT(topology.numNodes() ==
+                 static_cast<int>(usage.size()));
+    topo = &topology;
 }
 
 double
@@ -97,7 +115,7 @@ KvEstimator::requestBytes(const trace::Request &request,
     // prompt plus half the average output.
     double tokens = static_cast<double>(request.promptLen) +
                     0.5 * avgOutputLen;
-    return tokens * topo.kvBytesPerTokenPerLayer() *
+    return tokens * topo->kvBytesPerTokenPerLayer() *
            stage.numLayers();
 }
 
@@ -105,7 +123,7 @@ bool
 KvEstimator::admits(int node, double bytes) const
 {
     return usage[node] + bytes <=
-           highWaterMark * topo.kvCapacityBytes(node);
+           highWaterMark * topo->kvCapacityBytes(node);
 }
 
 void
@@ -124,15 +142,21 @@ KvEstimator::release(int node, double bytes)
 
 HelixScheduler::HelixScheduler(const Topology &topology,
                                SchedulerConfig config)
-    : topo(topology), cfg(config),
+    : topo(&topology), cfg(config),
       kv(topology, config.avgOutputLen, config.kvHighWaterMark)
+{
+    rebuildSelectors();
+}
+
+void
+HelixScheduler::rebuildSelectors()
 {
     // One IWRR selector per vertex; candidates are the outgoing valid
     // connections carrying positive flow, weighted by that flow.
-    iwrr.resize(topo.numNodes() + 1);
-    for (int vertex = cluster::kCoordinator; vertex < topo.numNodes();
+    iwrr.assign(topo->numNodes() + 1, IwrrScheduler());
+    for (int vertex = cluster::kCoordinator; vertex < topo->numNodes();
          ++vertex) {
-        const auto &out = topo.outEdges(vertex);
+        const auto &out = topo->outEdges(vertex);
         std::vector<int> ids;
         std::vector<double> weights;
         for (size_t e = 0; e < out.size(); ++e) {
@@ -144,6 +168,15 @@ HelixScheduler::HelixScheduler(const Topology &topology,
         iwrr[vertex + 1] = IwrrScheduler(std::move(ids),
                                          std::move(weights));
     }
+}
+
+void
+HelixScheduler::onTopologyChange(const Topology &topology)
+{
+    HELIX_ASSERT(topology.numNodes() == topo->numNodes());
+    topo = &adoptTopology(topology);
+    kv.rebind(*topo);
+    rebuildSelectors();
 }
 
 std::optional<Pipeline>
@@ -167,8 +200,8 @@ HelixScheduler::tryWalk(const trace::Request &request,
     Pipeline pipeline;
     int vertex = cluster::kCoordinator;
     int at = 0;
-    while (at < topo.numLayers()) {
-        const auto &out = topo.outEdges(vertex);
+    while (at < topo->numLayers()) {
+        const auto &out = topo->outEdges(vertex);
         IwrrScheduler &selector = iwrr[vertex + 1];
         // Mask candidates that are the sink or whose KV admission
         // fails for this request's stage there.
@@ -182,7 +215,7 @@ HelixScheduler::tryWalk(const trace::Request &request,
                 continue;
             }
             PipelineStage stage{edge.to, at,
-                                topo.nodePlacement(edge.to).end()};
+                                topo->nodePlacement(edge.to).end()};
             if (!kv.admits(edge.to, kv.requestBytes(request, stage))) {
                 masked[c] = true;
                 continue;
@@ -196,7 +229,7 @@ HelixScheduler::tryWalk(const trace::Request &request,
             return std::nullopt;
         const auto &edge = out[picked];
         PipelineStage stage{edge.to, at,
-                            topo.nodePlacement(edge.to).end()};
+                            topo->nodePlacement(edge.to).end()};
         pipeline.push_back(stage);
         at = stage.endLayer;
         vertex = edge.to;
@@ -222,8 +255,15 @@ HelixScheduler::onRequestFinished(const trace::Request &request,
 
 WalkScheduler::WalkScheduler(const Topology &topology, WalkPolicy pol,
                              SchedulerConfig config)
-    : topo(topology), policy(pol), cfg(config), rng(config.seed)
+    : topo(&topology), policy(pol), cfg(config), rng(config.seed)
 {
+}
+
+void
+WalkScheduler::onTopologyChange(const Topology &topology)
+{
+    HELIX_ASSERT(topology.numNodes() == topo->numNodes());
+    topo = &adoptTopology(topology);
 }
 
 std::string
@@ -245,8 +285,8 @@ WalkScheduler::schedule(const trace::Request &request,
     Pipeline pipeline;
     int vertex = cluster::kCoordinator;
     int at = 0;
-    while (at < topo.numLayers()) {
-        const auto &out = topo.outEdges(vertex);
+    while (at < topo->numLayers()) {
+        const auto &out = topo->outEdges(vertex);
         // Collect live compute-node candidates (skip the sink edge).
         std::vector<int> candidates;
         for (size_t e = 0; e < out.size(); ++e) {
@@ -290,7 +330,7 @@ WalkScheduler::schedule(const trace::Request &request,
         HELIX_ASSERT(chosen >= 0);
         const auto &edge = out[chosen];
         PipelineStage stage{edge.to, at,
-                            topo.nodePlacement(edge.to).end()};
+                            topo->nodePlacement(edge.to).end()};
         pipeline.push_back(stage);
         at = stage.endLayer;
         vertex = edge.to;
@@ -301,9 +341,17 @@ WalkScheduler::schedule(const trace::Request &request,
 FixedPipelineScheduler::FixedPipelineScheduler(
     const Topology &topology, std::vector<Pipeline> pipelines,
     SchedulerConfig config)
-    : topo(topology), fixed(std::move(pipelines)), cfg(config),
+    : topo(&topology), fixed(std::move(pipelines)), cfg(config),
       kv(topology, config.avgOutputLen, config.kvHighWaterMark)
 {
+}
+
+void
+FixedPipelineScheduler::onTopologyChange(const Topology &topology)
+{
+    HELIX_ASSERT(topology.numNodes() == topo->numNodes());
+    topo = &adoptTopology(topology);
+    kv.rebind(*topo);
 }
 
 std::optional<Pipeline>

@@ -74,42 +74,6 @@ class SchedulerContext
     }
 };
 
-/** Interface implemented by all request schedulers. */
-class RequestScheduler
-{
-  public:
-    virtual ~RequestScheduler() = default;
-
-    virtual std::string name() const = 0;
-
-    /**
-     * Assign @p request a pipeline.
-     * @return the pipeline, or nullopt if no node can accept the
-     *         request right now (the coordinator should retry after
-     *         some requests finish).
-     */
-    virtual std::optional<Pipeline> schedule(
-        const trace::Request &request, const SchedulerContext &ctx) = 0;
-
-    /** Notification that a scheduled request was admitted. */
-    virtual void
-    onRequestAdmitted(const trace::Request &request,
-                      const Pipeline &pipeline)
-    {
-        (void)request;
-        (void)pipeline;
-    }
-
-    /** Notification that a request finished and released its KV. */
-    virtual void
-    onRequestFinished(const trace::Request &request,
-                      const Pipeline &pipeline)
-    {
-        (void)request;
-        (void)pipeline;
-    }
-};
-
 /**
  * Topology shared by the graph-walking schedulers: the valid
  * connections of a placement with their max-flow values, plus the
@@ -164,6 +128,71 @@ class Topology
     double flowValue = 0.0;
 };
 
+/** Interface implemented by all request schedulers. */
+class RequestScheduler
+{
+  public:
+    virtual ~RequestScheduler() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Assign @p request a pipeline.
+     * @return the pipeline, or nullopt if no node can accept the
+     *         request right now (the coordinator should retry after
+     *         some requests finish).
+     */
+    virtual std::optional<Pipeline> schedule(
+        const trace::Request &request, const SchedulerContext &ctx) = 0;
+
+    /** Notification that a scheduled request was admitted. */
+    virtual void
+    onRequestAdmitted(const trace::Request &request,
+                      const Pipeline &pipeline)
+    {
+        (void)request;
+        (void)pipeline;
+    }
+
+    /** Notification that a request finished and released its KV. */
+    virtual void
+    onRequestFinished(const trace::Request &request,
+                      const Pipeline &pipeline)
+    {
+        (void)request;
+        (void)pipeline;
+    }
+
+    /**
+     * Notification that the live topology changed (a node failed or
+     * rejoined and the flow was re-solved on the surviving subgraph;
+     * see TopologyManager). Implementations must atomically rebind to
+     * @p topology — the Helix scheduler rebuilds its IWRR selectors
+     * from the new edge flows — so routing proportions always match
+     * the live cluster. Implementations copy what they keep, so
+     * @p topology only needs to live for the duration of the call.
+     */
+    virtual void
+    onTopologyChange(const Topology &topology)
+    {
+        (void)topology;
+    }
+
+  protected:
+    /**
+     * Copy @p topology into scheduler-owned storage and return the
+     * copy, for onTopologyChange implementations: owning the
+     * re-solved topology decouples the scheduler's lifetime from the
+     * TopologyManager (typically simulator-owned) that produced it.
+     * The copy is taken before the previously owned topology is
+     * released, so @p topology may alias it (redundant swap).
+     */
+    const Topology &adoptTopology(const Topology &topology);
+
+  private:
+    std::unique_ptr<Topology> ownedTopo;
+};
+
 /** Shared admission bookkeeping: scheduler-side KV estimation. */
 class KvEstimator
 {
@@ -186,8 +215,14 @@ class KvEstimator
 
     double estimatedUsage(int node) const { return usage[node]; }
 
+    /**
+     * Rebind to a re-solved topology (same cluster, same node count).
+     * Reserved usage survives: live requests keep their estimates.
+     */
+    void rebind(const Topology &topology);
+
   private:
-    const Topology &topo;
+    const Topology *topo;
     double avgOutputLen;
     double highWaterMark;
     std::vector<double> usage;
@@ -225,12 +260,22 @@ class HelixScheduler : public RequestScheduler
     void onRequestFinished(const trace::Request &request,
                            const Pipeline &pipeline) override;
 
+    /** Swap in a re-solved topology: rebuilds every IWRR selector
+     *  from the new edge flows, preserving KV reservations. */
+    void onTopologyChange(const Topology &topology) override;
+
+    /** Topology currently driving the IWRR weights (for tests). */
+    const Topology &topology() const { return *topo; }
+
   private:
     /** One IWRR walk attempt; nullopt when it dead-ends. */
     std::optional<Pipeline> tryWalk(const trace::Request &request,
                                     const SchedulerContext &ctx);
 
-    const Topology &topo;
+    /** Rebuild the per-vertex IWRR selectors from topo's flows. */
+    void rebuildSelectors();
+
+    const Topology *topo;
     SchedulerConfig cfg;
     KvEstimator kv;
     std::vector<IwrrScheduler> iwrr; // [vertex + 1]; 0 = coordinator
@@ -263,8 +308,12 @@ class WalkScheduler : public RequestScheduler
                                      const SchedulerContext &ctx)
         override;
 
+    /** Rebind to a re-solved topology (edges of dead nodes vanish;
+     *  a recovered node's edges come back). */
+    void onTopologyChange(const Topology &topology) override;
+
   private:
-    const Topology &topo;
+    const Topology *topo;
     WalkPolicy policy;
     SchedulerConfig cfg;
     Rng rng;
@@ -294,10 +343,14 @@ class FixedPipelineScheduler : public RequestScheduler
     void onRequestFinished(const trace::Request &request,
                            const Pipeline &pipeline) override;
 
+    /** Rebind KV capacities to a re-solved topology (a dead node's
+     *  capacity drops to zero, masking pipelines through it). */
+    void onTopologyChange(const Topology &topology) override;
+
     size_t numPipelines() const { return fixed.size(); }
 
   private:
-    const Topology &topo;
+    const Topology *topo;
     std::vector<Pipeline> fixed;
     SchedulerConfig cfg;
     KvEstimator kv;

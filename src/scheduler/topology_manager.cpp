@@ -1,0 +1,65 @@
+#include "scheduler/topology_manager.h"
+
+#include "util/logging.h"
+
+namespace helix {
+namespace scheduler {
+
+TopologyManager::TopologyManager(
+    const cluster::ClusterSpec &cluster,
+    const cluster::Profiler &profiler,
+    const placement::ModelPlacement &placement,
+    placement::GraphBuildOptions options)
+    : clusterRef(cluster), profilerRef(profiler),
+      placementRef(placement), opts(options),
+      alive(placement.size(), true)
+{
+    rebuild();
+}
+
+bool
+TopologyManager::nodeAlive(int node) const
+{
+    HELIX_ASSERT(node >= 0 &&
+                 node < static_cast<int>(alive.size()));
+    return alive[node];
+}
+
+double
+TopologyManager::setNodeAlive(int node, bool is_alive)
+{
+    HELIX_ASSERT(node >= 0 &&
+                 node < static_cast<int>(alive.size()));
+    if (alive[node] == is_alive)
+        return currentFlow();
+    alive[node] = is_alive;
+    rebuild();
+    return currentFlow();
+}
+
+void
+TopologyManager::rebuild()
+{
+    // Restrict the placement to live nodes: a dead node's interval is
+    // zeroed, which removes its vertices and every incident edge from
+    // the placement graph (PlacementGraph skips count == 0 nodes), so
+    // the max flow is solved on exactly the surviving subgraph.
+    placement::ModelPlacement masked = placementRef;
+    for (size_t i = 0; i < masked.size(); ++i) {
+        if (!alive[i])
+            masked[i] = placement::NodePlacement{0, 0};
+    }
+    placement::PlacementGraph graph(clusterRef, profilerRef, masked,
+                                    opts);
+    graph.maxThroughput();
+    // Topology copies the placements and edge flows it needs, so the
+    // local graph and masked placement may go out of scope. Consumers
+    // of current() copy in turn (RequestScheduler::onTopologyChange),
+    // so the replaced topology can be released immediately.
+    topo = std::make_unique<Topology>(clusterRef, profilerRef, masked,
+                                      graph);
+    ++solves;
+}
+
+} // namespace scheduler
+} // namespace helix

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Live topology maintenance under node churn (Sec. 5 semantics).
+ *
+ * The paper's scheduler routes every request along the *current*
+ * max-flow of the cluster. When a node fails (or a failed node
+ * rejoins), the flow solution of the original placement graph is
+ * stale: surviving nodes must not keep their pre-failure flow
+ * proportions, and the reported serving bound must reflect the
+ * surviving subgraph. TopologyManager owns that invariant: it tracks
+ * per-node liveness, and on every change re-runs preflow-push
+ * max-flow on the placement graph restricted to live nodes, producing
+ * a fresh Topology whose edge flows become the schedulers' IWRR
+ * weights (RequestScheduler::onTopologyChange swaps them in).
+ *
+ * Re-solves are deterministic: the masked graph is rebuilt in node
+ * order and solved with the same preflow-push configuration every
+ * time, so a given liveness set always yields byte-identical flows.
+ */
+
+#ifndef HELIX_SCHEDULER_TOPOLOGY_MANAGER_H
+#define HELIX_SCHEDULER_TOPOLOGY_MANAGER_H
+
+#include <memory>
+#include <vector>
+
+#include "placement/placement_graph.h"
+#include "scheduler/scheduler.h"
+
+namespace helix {
+namespace scheduler {
+
+/**
+ * Tracks node liveness and keeps a Topology solved on the surviving
+ * subgraph of a placement. The cluster, profiler, and placement are
+ * held by reference and must outlive the manager.
+ */
+class TopologyManager
+{
+  public:
+    TopologyManager(const cluster::ClusterSpec &cluster,
+                    const cluster::Profiler &profiler,
+                    const placement::ModelPlacement &placement,
+                    placement::GraphBuildOptions options = {});
+
+    /** The topology solved for the current liveness set. */
+    const Topology &current() const { return *topo; }
+
+    bool nodeAlive(int node) const;
+
+    /**
+     * Mark @p node dead or alive and re-solve max-flow on the
+     * surviving subgraph. No-op (returning the current flow) when the
+     * liveness bit is unchanged.
+     * @return the max-flow value of the new topology (tokens/s).
+     */
+    double setNodeAlive(int node, bool alive);
+
+    /** Max-flow value of the current topology (tokens/s). */
+    double currentFlow() const { return topo->maxFlow(); }
+
+    /** Number of max-flow re-solves performed (initial build + one
+     *  per effective liveness change). */
+    int numSolves() const { return solves; }
+
+  private:
+    /** Rebuild the masked placement graph and re-solve. */
+    void rebuild();
+
+    const cluster::ClusterSpec &clusterRef;
+    const cluster::Profiler &profilerRef;
+    const placement::ModelPlacement &placementRef;
+    placement::GraphBuildOptions opts;
+    std::vector<bool> alive;
+    std::unique_ptr<Topology> topo;
+    int solves = 0;
+};
+
+} // namespace scheduler
+} // namespace helix
+
+#endif // HELIX_SCHEDULER_TOPOLOGY_MANAGER_H

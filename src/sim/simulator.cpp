@@ -3,10 +3,21 @@
 #include <algorithm>
 #include <cmath>
 
+#include "scheduler/topology_manager.h"
 #include "util/logging.h"
 
 namespace helix {
 namespace sim {
+
+const char *
+toString(ChurnEvent::Kind kind)
+{
+    switch (kind) {
+      case ChurnEvent::Kind::Fail:    return "fail";
+      case ChurnEvent::Kind::Recover: return "recover";
+    }
+    return "?";
+}
 
 ClusterSimulator::ClusterSimulator(
     const cluster::ClusterSpec &cluster_spec,
@@ -60,6 +71,8 @@ ClusterSimulator::ClusterSimulator(
     }
 }
 
+ClusterSimulator::~ClusterSimulator() = default;
+
 ClusterSimulator::LinkState &
 ClusterSimulator::linkState(int from, int to)
 {
@@ -97,7 +110,17 @@ ClusterSimulator::queueLength(int node) const
 double
 ClusterSimulator::recentThroughput(int node) const
 {
-    return nodes[node].ewmaThroughput;
+    // Decay the estimate by the time elapsed since the last batch on
+    // the same tau the EWMA itself uses. Without this, a node that
+    // went quiet (idle, masked, or dead) keeps reporting its last
+    // busy-period rate forever, and the Swarm-style throughput-
+    // proportional walker keeps over-weighting it.
+    const NodeState &state = nodes[node];
+    if (state.ewmaThroughput <= 0.0)
+        return 0.0;
+    double tau = std::max(1e-9, cfg.throughputEwmaTauS);
+    double idle = std::max(0.0, now - state.ewmaUpdatedAt);
+    return state.ewmaThroughput * std::exp(-idle / tau);
 }
 
 double
@@ -127,19 +150,25 @@ ClusterSimulator::tryAdmit()
         auto pipeline = sched.schedule(rs.request, *this);
         if (!pipeline) {
             // Nothing admissible right now. If the cluster is
-            // completely idle this request can never be served (it
-            // exceeds every node's standalone capacity): reject it to
-            // avoid blocking the queue forever.
+            // completely idle AND fully alive, this request can never
+            // be served (it exceeds every node's standalone
+            // capacity): reject it to avoid blocking the queue
+            // forever. With a dead node the inference does not hold —
+            // a scheduled recover event may restore the missing stage
+            // — so the backlog is held instead of rejected.
             bool idle = true;
+            bool any_dead = false;
             for (const NodeState &node : nodes) {
-                if (!node.dead && (node.busy || node.inFlight > 0)) {
+                if (node.dead) {
+                    any_dead = true;
+                } else if (node.busy || node.inFlight > 0) {
                     idle = false;
                     break;
                 }
             }
             long still_active = metrics.requestsAdmitted -
                                 metrics.requestsCompleted;
-            if (idle && still_active <= 0) {
+            if (idle && !any_dead && still_active <= 0) {
                 ++metrics.requestsRejected;
                 pending.pop_front();
                 continue;
@@ -325,20 +354,25 @@ ClusterSimulator::startBatch(int node)
     ev.kind = Event::Kind::BatchDone;
     ev.node = node;
     ev.batchSeconds = batch_s;
+    // Stamp the node's liveness epoch so a failure (and possible
+    // recovery) between now and completion invalidates this batch.
+    ev.item.epoch = state.epoch;
     scheduleEvent(now + batch_s, ev);
 }
 
 void
-ClusterSimulator::finishBatch(int node, double batch_seconds)
+ClusterSimulator::finishBatch(int node, double batch_seconds,
+                              uint32_t node_epoch)
 {
     NodeState &state = nodes[node];
-    state.busy = false;
-    if (state.dead) {
-        // The node failed while this batch was in flight; its work
-        // was already restarted elsewhere.
-        state.running.clear();
+    if (state.epoch != node_epoch) {
+        // The node failed while this batch was in flight (it may even
+        // have recovered since): the failure already cleared running
+        // and restarted the affected requests, and any batch running
+        // now belongs to the new epoch. Drop the stale completion.
         return;
     }
+    state.busy = false;
 
     const model::TransformerSpec &spec = profiler.modelSpec();
     long tokens_processed = 0;
@@ -426,6 +460,7 @@ ClusterSimulator::finishBatch(int node, double batch_seconds)
         1.0 - std::exp(-batch_seconds /
                        std::max(1e-9, cfg.throughputEwmaTauS));
     state.ewmaThroughput += alpha * (rate - state.ewmaThroughput);
+    state.ewmaUpdatedAt = now;
 
     if (!state.queue.empty())
         startBatch(node);
@@ -508,17 +543,47 @@ ClusterSimulator::onTokenAtCoordinator(int request, uint32_t epoch)
 }
 
 void
+ClusterSimulator::resolveTopology(int node, ChurnEvent::Kind kind)
+{
+    // Lazily build the manager: runs without churn never pay for the
+    // extra max-flow solves. The first build solves the full topology
+    // (identical flows to the deployment's own solve — construction
+    // and preflow-push are deterministic), then the liveness change
+    // re-solves on the surviving subgraph.
+    if (!topoManager) {
+        topoManager = std::make_unique<scheduler::TopologyManager>(
+            clusterRef, profiler, placementRef);
+    }
+    double flow = topoManager->setNodeAlive(
+        node, kind == ChurnEvent::Kind::Recover);
+    // Atomic swap from the scheduler's point of view: no scheduling
+    // decision can observe a half-updated weight set, because the
+    // rebind happens inside this event before any walk runs.
+    sched.onTopologyChange(topoManager->current());
+    metrics.flowEvents.push_back({now, node, kind, flow});
+}
+
+void
 ClusterSimulator::onNodeFailure(int node)
 {
     NodeState &failed = nodes[node];
     if (failed.dead)
         return;
     failed.dead = true;
+    ++failed.epoch;
     failed.queue.clear();
+    failed.running.clear();
+    failed.busy = false;
     failed.inFlight = 0;
     failed.kvUsed = 0.0;
-    // Note: if a batch is running on the failed node, its BatchDone
-    // event still fires; finishBatch discards it via the dead flag.
+    // Note: if a batch was running on the failed node, its BatchDone
+    // event still fires; finishBatch discards it via the epoch bump.
+
+    // Re-solve the max flow on the surviving subgraph and swap the
+    // fresh flows into the scheduler before anything is rescheduled,
+    // so restarted requests route by the live proportions — not the
+    // pre-failure ones.
+    resolveTopology(node, ChurnEvent::Kind::Fail);
 
     // Restart every admitted, unfinished request whose pipeline
     // crosses the failed node: release exactly the KV it wrote at
@@ -579,6 +644,34 @@ ClusterSimulator::onNodeFailure(int node)
 }
 
 void
+ClusterSimulator::onNodeRecovery(int node)
+{
+    NodeState &state = nodes[node];
+    if (!state.dead)
+        return;
+    // The node rejoins with empty KV and queue: nothing was enqueued
+    // while it was dead (enqueueWork drops deliveries to dead nodes),
+    // and its pre-failure work was already restarted elsewhere. The
+    // epoch bumped at failure keeps any still-in-flight BatchDone of
+    // the old life stale.
+    state.dead = false;
+    state.queue.clear();
+    state.running.clear();
+    state.busy = false;
+    state.inFlight = 0;
+    state.kvUsed = 0.0;
+    state.ewmaThroughput = 0.0;
+    state.ewmaUpdatedAt = now;
+
+    // Re-solve with the node back in the graph and swap the restored
+    // flows into the scheduler, then retry the backlog: requests that
+    // were waiting on capacity can now route through the rejoined
+    // node.
+    resolveTopology(node, ChurnEvent::Kind::Recover);
+    tryAdmit();
+}
+
+void
 ClusterSimulator::dispatch(const Event &event)
 {
     switch (event.kind) {
@@ -594,10 +687,13 @@ ClusterSimulator::dispatch(const Event &event)
         onTokenAtCoordinator(event.item.request, event.item.epoch);
         break;
       case Event::Kind::BatchDone:
-        finishBatch(event.node, event.batchSeconds);
+        finishBatch(event.node, event.batchSeconds, event.item.epoch);
         break;
       case Event::Kind::NodeFailure:
         onNodeFailure(event.node);
+        break;
+      case Event::Kind::NodeRecovery:
+        onNodeRecovery(event.node);
         break;
     }
 }
@@ -621,13 +717,27 @@ ClusterSimulator::run(const std::vector<trace::Request> &request_list)
         ev.item.request = static_cast<int>(i);
         scheduleEvent(std::max(at, 0.0), ev);
     }
-    if (cfg.failNodeIndex >= 0 &&
-        cfg.failNodeIndex < static_cast<int>(nodes.size()) &&
-        cfg.failAtSeconds >= 0.0) {
+    // Churn schedule: the legacy single-failure pair first, then the
+    // event list. Ordering among same-time events follows insertion
+    // order (the event queue breaks time ties by sequence number).
+    std::vector<ChurnEvent> churn;
+    if (cfg.failNodeIndex >= 0 && cfg.failAtSeconds >= 0.0) {
+        churn.push_back({ChurnEvent::Kind::Fail, cfg.failNodeIndex,
+                         cfg.failAtSeconds});
+    }
+    churn.insert(churn.end(), cfg.churnEvents.begin(),
+                 cfg.churnEvents.end());
+    for (const ChurnEvent &event : churn) {
+        if (event.node < 0 ||
+            event.node >= static_cast<int>(nodes.size()) ||
+            event.atSeconds < 0.0)
+            continue;
         Event ev;
-        ev.kind = Event::Kind::NodeFailure;
-        ev.node = cfg.failNodeIndex;
-        scheduleEvent(cfg.failAtSeconds, ev);
+        ev.kind = event.kind == ChurnEvent::Kind::Fail
+                      ? Event::Kind::NodeFailure
+                      : Event::Kind::NodeRecovery;
+        ev.node = event.node;
+        scheduleEvent(event.atSeconds, ev);
     }
 
     const double end_time = cfg.warmupSeconds + cfg.measureSeconds;

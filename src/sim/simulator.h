@@ -19,8 +19,13 @@
  *  - the coordinator loop: per-request pipelines, one round trip per
  *    generated token, admission retry when the scheduler masks all
  *    candidates;
- *  - optional node failure mid-run (churn): the failed node's work is
- *    dropped and every affected request is rescheduled around it.
+ *  - node churn mid-run: an ordered schedule of fail/recover events.
+ *    A failed node's work is dropped and every affected request is
+ *    rescheduled around it; a recovered node rejoins with empty KV
+ *    and queue. On every event the simulator re-solves max-flow on
+ *    the surviving subgraph (scheduler::TopologyManager) and swaps
+ *    the fresh topology into the scheduler, so routing proportions
+ *    always match the live cluster (Sec. 5 semantics).
  *
  * The event queue holds small trivially-copyable tagged-union events
  * (no std::function, no per-event heap allocation); batch vectors are
@@ -32,6 +37,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -43,7 +49,31 @@
 #include "util/stats.h"
 
 namespace helix {
+
+namespace scheduler {
+class TopologyManager;
+} // namespace scheduler
+
 namespace sim {
+
+/** One scheduled topology change of the churn scenario. */
+struct ChurnEvent
+{
+    enum class Kind : uint8_t
+    {
+        /** The node fails: work dropped, requests restart around it. */
+        Fail,
+        /** The node rejoins with empty KV and queue. */
+        Recover,
+    };
+
+    Kind kind = Kind::Fail;
+    int node = -1;
+    double atSeconds = 0.0;
+};
+
+/** Human-readable name of a ChurnEvent::Kind ("fail"/"recover"). */
+const char *toString(ChurnEvent::Kind kind);
 
 /** Simulation parameters. */
 struct SimConfig
@@ -74,14 +104,23 @@ struct SimConfig
      */
     int maxActiveRequests = 0;
     /**
-     * Node-churn scenario: node @p failNodeIndex fails (permanently)
-     * at @p failAtSeconds. Its queued and in-flight work is dropped,
+     * Legacy single-failure churn: node @p failNodeIndex fails at
+     * @p failAtSeconds. Its queued and in-flight work is dropped,
      * affected requests restart from the prompt through the scheduler,
      * and schedulers see the node as dead (SchedulerContext::
-     * nodeAlive). Negative values disable the scenario.
+     * nodeAlive). Negative values disable it. Merged ahead of
+     * @p churnEvents at run start; prefer the event schedule.
      */
     int failNodeIndex = -1;
     double failAtSeconds = -1.0;
+    /**
+     * Churn event schedule: fail and recover events applied in time
+     * order. Each event triggers a max-flow re-solve on the surviving
+     * subgraph and a topology swap into the scheduler; the resulting
+     * flow values are logged in SimMetrics::flowEvents. Events with
+     * out-of-range nodes or negative times are ignored.
+     */
+    std::vector<ChurnEvent> churnEvents;
     /**
      * Time constant (seconds) of the per-node throughput EWMA exposed
      * to schedulers: a batch of duration d carries weight
@@ -129,6 +168,19 @@ struct SimMetrics
     long requestsRejected = 0;
     /** Requests restarted because a node failed mid-run. */
     long requestsRestarted = 0;
+    /**
+     * One entry per applied churn event: the re-solved max-flow value
+     * of the surviving subgraph right after the event took effect.
+     */
+    struct FlowEvent
+    {
+        double time = 0.0;
+        int node = -1;
+        ChurnEvent::Kind kind = ChurnEvent::Kind::Fail;
+        /** Max-flow of the live topology after the event, tokens/s. */
+        double flow = 0.0;
+    };
+    std::vector<FlowEvent> flowEvents;
     long decodeTokensInWindow = 0;
     long promptTokensInWindow = 0;
     double simulatedSeconds = 0.0;
@@ -160,6 +212,8 @@ class ClusterSimulator : public scheduler::SchedulerContext
                      const placement::ModelPlacement &placement,
                      scheduler::RequestScheduler &scheduler,
                      SimConfig config = {});
+
+    ~ClusterSimulator();
 
     /** Run to completion of the measurement window. */
     SimMetrics run(const std::vector<trace::Request> &requests);
@@ -209,6 +263,8 @@ class ClusterSimulator : public scheduler::SchedulerContext
             BatchDone,
             /** Node fails (churn scenario). */
             NodeFailure,
+            /** Node rejoins with empty KV and queue (churn). */
+            NodeRecovery,
         };
 
         double time = 0.0;
@@ -241,6 +297,16 @@ class ClusterSimulator : public scheduler::SchedulerContext
         double kvCapacity = 0.0;
         int layersHeld = 0;
         double ewmaThroughput = 0.0;
+        /** Sim time of the last EWMA update; recentThroughput decays
+         *  the estimate by the elapsed time since then, so idle or
+         *  dead nodes do not keep reporting their last busy rate. */
+        double ewmaUpdatedAt = 0.0;
+        /**
+         * Liveness epoch: bumped when the node fails, so a BatchDone
+         * scheduled before the failure is recognized as stale even if
+         * the node has since recovered and started new batches.
+         */
+        uint32_t epoch = 0;
         int inFlight = 0;
         /** KV-utilization sampling for metrics. */
         double utilSum = 0.0;
@@ -315,14 +381,27 @@ class ClusterSimulator : public scheduler::SchedulerContext
     /** Start a batch on an idle node with a non-empty queue. */
     void startBatch(int node);
 
-    /** Complete the batch in NodeState::running. */
-    void finishBatch(int node, double batch_seconds);
+    /** Complete the batch in NodeState::running. @p node_epoch is the
+     *  node's liveness epoch when the batch started; a mismatch means
+     *  the node failed meanwhile and the batch was dropped. */
+    void finishBatch(int node, double batch_seconds,
+                     uint32_t node_epoch);
 
     /** Handle an output token arriving back at the coordinator. */
     void onTokenAtCoordinator(int request, uint32_t epoch);
 
     /** Fail @p node: drop its work, restart affected requests. */
     void onNodeFailure(int node);
+
+    /** Recover @p node: rejoin with empty KV and queue. */
+    void onNodeRecovery(int node);
+
+    /**
+     * Re-solve max-flow on the surviving subgraph after a liveness
+     * change, swap the fresh topology into the scheduler, and log the
+     * new flow value in SimMetrics::flowEvents.
+     */
+    void resolveTopology(int node, ChurnEvent::Kind kind);
 
     /** Current context length of a request (prompt + generated). */
     double contextLen(const RequestState &rs) const;
@@ -349,6 +428,13 @@ class ClusterSimulator : public scheduler::SchedulerContext
     int side = 0;
     /** Scratch for prompts deferred during batch assembly (reused). */
     std::vector<WorkItem> deferredScratch;
+    /**
+     * Live-topology re-solver, created lazily at the first churn
+     * event (runs without churn never pay for the extra max-flow
+     * solves). The scheduler copies the topology it is rebound to,
+     * so its lifetime stays independent of the simulator's.
+     */
+    std::unique_ptr<scheduler::TopologyManager> topoManager;
 
     SimMetrics metrics;
 };

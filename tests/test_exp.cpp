@@ -50,6 +50,13 @@ expectMetricsIdentical(const sim::SimMetrics &a,
     EXPECT_EQ(a.decodeLatency.mean(), b.decodeLatency.mean());
     EXPECT_EQ(a.decodeLatency.percentile(95),
               b.decodeLatency.percentile(95));
+    ASSERT_EQ(a.flowEvents.size(), b.flowEvents.size());
+    for (size_t i = 0; i < a.flowEvents.size(); ++i) {
+        EXPECT_EQ(a.flowEvents[i].time, b.flowEvents[i].time);
+        EXPECT_EQ(a.flowEvents[i].node, b.flowEvents[i].node);
+        EXPECT_EQ(a.flowEvents[i].kind, b.flowEvents[i].kind);
+        EXPECT_EQ(a.flowEvents[i].flow, b.flowEvents[i].flow);
+    }
     ASSERT_EQ(a.nodeStats.size(), b.nodeStats.size());
     for (size_t i = 0; i < a.nodeStats.size(); ++i) {
         EXPECT_EQ(a.nodeStats[i].batches, b.nodeStats[i].batches);
@@ -169,6 +176,23 @@ TEST(Scenarios, CatalogMaterializesRunConfigs)
     EXPECT_EQ(burst_run.arrivals, ArrivalKind::Bursty);
     EXPECT_DOUBLE_EQ(burst_run.burstMultiplier, 8.0);
     EXPECT_LT(burst_run.failNodeIndex, 0);
+    EXPECT_TRUE(burst_run.churnEvents.empty());
+
+    Scenario schedule = scenarios::churnSchedule(
+        {{sim::ChurnEvent::Kind::Fail, 1, 0.25},
+         {sim::ChurnEvent::Kind::Recover, 1, 0.75}},
+        false);
+    RunConfig sched_run = schedule.toRun(10.0, 30.0, 7);
+    EXPECT_FALSE(sched_run.online);
+    EXPECT_LT(sched_run.failNodeIndex, 0);
+    ASSERT_EQ(sched_run.churnEvents.size(), 2u);
+    EXPECT_EQ(sched_run.churnEvents[0].kind,
+              sim::ChurnEvent::Kind::Fail);
+    EXPECT_EQ(sched_run.churnEvents[0].node, 1);
+    EXPECT_DOUBLE_EQ(sched_run.churnEvents[0].atSeconds, 10.0);
+    EXPECT_EQ(sched_run.churnEvents[1].kind,
+              sim::ChurnEvent::Kind::Recover);
+    EXPECT_DOUBLE_EQ(sched_run.churnEvents[1].atSeconds, 30.0);
 
     EXPECT_EQ(scenarios::all().size(), 4u);
 }
@@ -260,6 +284,63 @@ TEST(Emitters, JsonAndCsvCarryEveryRow)
     EXPECT_EQ(lines, results.size() + 1); // header + one per row
     EXPECT_EQ(csv.rfind("label,", 0), 0u);
     EXPECT_NE(csv.find("decode_latency_p99"), std::string::npos);
+    EXPECT_NE(csv.find("churn_events"), std::string::npos);
+}
+
+/**
+ * The exact bytes both emitters produce for a result with churn
+ * events and zero-sample latency accumulators: empty samples emit
+ * empty CSV fields / JSON nulls (a silent 0.0 is indistinguishable
+ * from a real zero-latency measurement), and the churn log carries
+ * each event's re-solved flow.
+ */
+TEST(Emitters, ZeroSampleStatsAndChurnEventsPinned)
+{
+    JobResult r;
+    r.label = "empty";
+    r.cluster = "c";
+    r.model = "m";
+    r.planner = "p";
+    r.scheduler = "s";
+    r.arrivals = "poisson";
+    r.metrics.flowEvents.push_back(
+        {12.5, 1, sim::ChurnEvent::Kind::Fail, 1000.0});
+    r.metrics.flowEvents.push_back(
+        {30.0, 1, sim::ChurnEvent::Kind::Recover, 2000.0});
+
+    EXPECT_EQ(
+        resultsToCsv({r}),
+        "label,cluster,model,planner,scheduler,arrivals,churn_events,"
+        "planned_throughput,decode_throughput,prompt_throughput,"
+        "prompt_latency_mean,prompt_latency_p50,prompt_latency_p95,"
+        "prompt_latency_p99,decode_latency_mean,decode_latency_p50,"
+        "decode_latency_p95,decode_latency_p99,requests_arrived,"
+        "requests_admitted,requests_completed,requests_rejected,"
+        "requests_restarted,avg_kv_utilization,wall_seconds\n"
+        "\"empty\",\"c\",\"m\",\"p\",\"s\",\"poisson\","
+        "\"fail:1@12.5=1000;recover:1@30=2000\","
+        "0,0,0,,,,,,,,,0,0,0,0,0,0,0\n");
+
+    EXPECT_EQ(
+        resultsToJson({r}),
+        "[\n"
+        "  {\"label\": \"empty\", \"cluster\": \"c\", "
+        "\"model\": \"m\", \"planner\": \"p\", \"scheduler\": \"s\", "
+        "\"arrivals\": \"poisson\", \"churn_events\": "
+        "[{\"kind\": \"fail\", \"node\": 1, \"time\": 12.5, "
+        "\"flow\": 1000}, "
+        "{\"kind\": \"recover\", \"node\": 1, \"time\": 30, "
+        "\"flow\": 2000}], "
+        "\"planned_throughput\": 0, \"decode_throughput\": 0, "
+        "\"prompt_throughput\": 0, \"prompt_latency_mean\": null, "
+        "\"prompt_latency_p50\": null, \"prompt_latency_p95\": null, "
+        "\"prompt_latency_p99\": null, \"decode_latency_mean\": null, "
+        "\"decode_latency_p50\": null, \"decode_latency_p95\": null, "
+        "\"decode_latency_p99\": null, \"requests_arrived\": 0, "
+        "\"requests_admitted\": 0, \"requests_completed\": 0, "
+        "\"requests_rejected\": 0, \"requests_restarted\": 0, "
+        "\"avg_kv_utilization\": 0, \"wall_seconds\": 0}\n"
+        "]\n");
 }
 
 TEST(Registries, LookupsResolveAndRejectUnknowns)

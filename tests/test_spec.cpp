@@ -132,7 +132,7 @@ TEST(SpecGolden, SweepAxesParsesToCartesianMode)
 TEST(SpecGolden, ShippedExamplesParseAndValidate)
 {
     for (const char *name :
-         {"fig6.exp", "sweep.exp", "portfolio.exp"}) {
+         {"fig6.exp", "sweep.exp", "portfolio.exp", "churn.exp"}) {
         auto text = io::readFile(examplePath(name));
         ASSERT_TRUE(text.has_value()) << name;
         io::ParseError error;
@@ -260,12 +260,109 @@ TEST(SpecErrors, ScenarioProblems)
     expectSpecError(preamble + "scenario offline seed=1 seed=2\n", 5,
                     "duplicate scenario option 'seed'");
     expectSpecError(preamble + "scenario churn at=0.5\n", 5,
-                    "churn scenario requires node=<index>");
+                    "churn scenario requires node=<index> or "
+                    "fail=<node>@<fraction> events");
     expectSpecError(preamble + "scenario online-peak\n"
                                "scenario offline\n",
                     5,
                     "online-peak needs an earlier offline scenario "
                     "to derive its arrival rate from");
+}
+
+TEST(SpecErrors, ChurnEventGrammar)
+{
+    const std::string preamble = "experiment v1\n"
+                                 "cluster planner10\n"
+                                 "model llama30b\n"
+                                 "system a swarm helix\n";
+    // Event values must be <node>@<fraction>.
+    expectSpecError(preamble + "scenario churn fail=0.3\n", 5,
+                    "scenario option 'fail' must be "
+                    "<node>@<fraction>, got '0.3'");
+    expectSpecError(preamble + "scenario churn fail=a@0.3\n", 5,
+                    "scenario option 'fail' must be "
+                    "<node>@<fraction>, got 'a@0.3'");
+    expectSpecError(preamble + "scenario churn recover=1@\n", 5,
+                    "scenario option 'recover' must be "
+                    "<node>@<fraction>, got '1@'");
+    // The legacy single-failure keys and the event schedule are
+    // mutually exclusive.
+    expectSpecError(preamble +
+                        "scenario churn node=0 fail=1@0.3\n",
+                    5,
+                    "churn scenario cannot mix node=/at= with "
+                    "fail=/recover= events");
+    // Repeated fail=/recover= keys are legal (an event schedule).
+    auto spec = io::experimentFromString(
+        preamble +
+        "scenario churn fail=0@0.2 recover=0@0.5 fail=1@0.7\n");
+    ASSERT_TRUE(spec.has_value());
+    ASSERT_EQ(spec->scenarios.size(), 1u);
+    const auto &events = spec->scenarios[0].events;
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_TRUE(events[0].fail);
+    EXPECT_EQ(events[0].node, 0);
+    EXPECT_DOUBLE_EQ(events[0].atFraction, 0.2);
+    EXPECT_FALSE(events[1].fail);
+    EXPECT_EQ(events[1].node, 0);
+    EXPECT_DOUBLE_EQ(events[1].atFraction, 0.5);
+    EXPECT_TRUE(events[2].fail);
+    EXPECT_EQ(events[2].node, 1);
+    EXPECT_DOUBLE_EQ(events[2].atFraction, 0.7);
+    io::ParseError error;
+    EXPECT_TRUE(exp::validateSpec(*spec, &error)) << error.str();
+    // Canonical serialization keeps the schedule and round-trips.
+    std::string canonical = io::experimentToString(*spec);
+    EXPECT_NE(canonical.find(
+                  "scenario churn fail=0@0.20000000000000001 "
+                  "recover=0@0.5 fail=1@0.69999999999999996"),
+              std::string::npos)
+        << canonical;
+    auto reparsed = io::experimentFromString(canonical);
+    ASSERT_TRUE(reparsed.has_value());
+    EXPECT_EQ(io::experimentToString(*reparsed), canonical);
+    EXPECT_EQ(reparsed->scenarios[0].events, events);
+}
+
+TEST(SpecValidate, ChurnEventScheduleConsistency)
+{
+    const std::string preamble = "experiment v1\n"
+                                 "cluster planner10\n"
+                                 "model llama30b\n"
+                                 "system a swarm helix\n";
+    io::ParseError error;
+    auto check = [&](const std::string &scenario_line,
+                     const std::string &message) {
+        auto spec =
+            io::experimentFromString(preamble + scenario_line + "\n");
+        ASSERT_TRUE(spec.has_value()) << scenario_line;
+        EXPECT_FALSE(exp::validateSpec(*spec, &error))
+            << scenario_line;
+        EXPECT_EQ(error.line, 5) << scenario_line;
+        EXPECT_EQ(error.message, message) << scenario_line;
+    };
+    check("scenario churn fail=10@0.3",
+          "churn event node index 10 is out of range for the "
+          "smallest declared cluster (10 nodes)");
+    check("scenario churn fail=0@1.5",
+          "churn event fail=0@1.500000 must occur at a fraction of "
+          "the run in [0, 1]");
+    check("scenario churn fail=0@0.5 recover=0@0.2",
+          "churn event recover=0@0.200000 is out of order: events "
+          "must be declared in non-decreasing time order");
+    check("scenario churn fail=0@0.2 fail=0@0.5",
+          "churn event fail=0@0.500000 fails a node that is already "
+          "failed");
+    check("scenario churn recover=0@0.2",
+          "churn event recover=0@0.200000 recovers a node with no "
+          "earlier fail event");
+    // Fail, recover, then fail again on the same node is a legal
+    // flapping-node schedule.
+    auto flap = io::experimentFromString(
+        preamble +
+        "scenario churn fail=2@0.2 recover=2@0.4 fail=2@0.8\n");
+    ASSERT_TRUE(flap.has_value());
+    EXPECT_TRUE(exp::validateSpec(*flap, &error)) << error.str();
 }
 
 TEST(SpecErrors, NonFiniteAndPrecisionLosingValuesRejected)
@@ -438,6 +535,25 @@ TEST(SpecScenarios, RunConfigMatchesTheCatalog)
     EXPECT_FALSE(run.online);
     EXPECT_EQ(run.failNodeIndex, 3);
     EXPECT_DOUBLE_EQ(run.failAtSeconds, 0.5 * (2.0 + 8.0));
+    EXPECT_TRUE(run.churnEvents.empty());
+
+    // An event schedule materializes at fractions of the horizon.
+    io::ScenarioSpec schedule;
+    schedule.kind = "churn";
+    schedule.options = {{"online", 0.0}};
+    schedule.events = {{true, 1, 0.3, 0}, {false, 1, 0.6, 0}};
+    run = exp::scenarioRunConfig(spec, schedule, 0.0);
+    EXPECT_FALSE(run.online);
+    EXPECT_LT(run.failNodeIndex, 0);
+    ASSERT_EQ(run.churnEvents.size(), 2u);
+    EXPECT_EQ(run.churnEvents[0].kind, sim::ChurnEvent::Kind::Fail);
+    EXPECT_EQ(run.churnEvents[0].node, 1);
+    EXPECT_DOUBLE_EQ(run.churnEvents[0].atSeconds,
+                     0.3 * (2.0 + 8.0));
+    EXPECT_EQ(run.churnEvents[1].kind,
+              sim::ChurnEvent::Kind::Recover);
+    EXPECT_DOUBLE_EQ(run.churnEvents[1].atSeconds,
+                     0.6 * (2.0 + 8.0));
 
     // online-peak reproduces bench_common's Sec. 6.2 derivation:
     // rate = fraction * peak / mean output length.
@@ -576,6 +692,43 @@ TEST(DocFileFormats, PortfolioGeneratedClusterExampleValidates)
     auto reparsed = io::experimentFromString(canonical);
     ASSERT_TRUE(reparsed.has_value());
     EXPECT_EQ(io::experimentToString(*reparsed), canonical);
+}
+
+TEST(DocFileFormats, ChurnExampleMatchesShippedSpec)
+{
+    // Byte-for-byte the worked churn example in docs/FILE_FORMATS.md.
+    const std::string example =
+        "experiment v1\n"
+        "name churn\n"
+        "output csv\n"
+        "seed 42\n"
+        "warmup 1\n"
+        "measure 6\n"
+        "planner-budget 0.05\n"
+        "cluster single24\n"
+        "model llama30b\n"
+        "system helix swarm helix\n"
+        "system swarm swarm swarm\n"
+        "scenario offline\n"
+        "scenario churn online=0 fail=4@0.33 recover=4@0.66\n";
+    io::ParseError error;
+    auto spec = io::experimentFromString(example, error);
+    ASSERT_TRUE(spec.has_value()) << error.str();
+    EXPECT_TRUE(exp::validateSpec(*spec, &error)) << error.str();
+    ASSERT_EQ(spec->scenarios.size(), 2u);
+    ASSERT_EQ(spec->scenarios[1].events.size(), 2u);
+    // Canonical re-serialization is stable...
+    std::string canonical = io::experimentToString(*spec);
+    auto reparsed = io::experimentFromString(canonical);
+    ASSERT_TRUE(reparsed.has_value());
+    EXPECT_EQ(io::experimentToString(*reparsed), canonical);
+    // ...and the shipped examples/churn.exp is this exact experiment
+    // (identical canonical bytes; the file only adds comments).
+    auto shipped_text = io::readFile(examplePath("churn.exp"));
+    ASSERT_TRUE(shipped_text.has_value());
+    auto shipped = io::experimentFromString(*shipped_text, error);
+    ASSERT_TRUE(shipped.has_value()) << error.str();
+    EXPECT_EQ(io::experimentToString(*shipped), canonical);
 }
 
 TEST(SpecValidate, GeneratedClusterNamesResolveWithLineErrors)
