@@ -9,7 +9,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "cluster/cluster.h"
+#include "cluster/generator.h"
 #include "cluster/profiler.h"
 #include "flow/max_flow.h"
 #include "lp/simplex.h"
@@ -40,6 +43,11 @@ randomGraph(int n, int m, uint64_t seed)
     return graph;
 }
 
+/**
+ * Manual timing: the per-iteration resetFlow() sweep (required so
+ * every iteration solves the same pristine network rather than a
+ * warmed one) must not count against the solver.
+ */
 void
 BM_PreflowPush(benchmark::State &state)
 {
@@ -48,10 +56,14 @@ BM_PreflowPush(benchmark::State &state)
     for (auto _ : state) {
         graph.resetFlow();
         flow::PreflowPush solver(graph);
+        auto begin = std::chrono::steady_clock::now();
         benchmark::DoNotOptimize(solver.solve(0, 1));
+        auto end = std::chrono::steady_clock::now();
+        state.SetIterationTime(
+            std::chrono::duration<double>(end - begin).count());
     }
 }
-BENCHMARK(BM_PreflowPush)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_PreflowPush)->Arg(16)->Arg(64)->Arg(256)->UseManualTime();
 
 void
 BM_Dinic(benchmark::State &state)
@@ -61,10 +73,148 @@ BM_Dinic(benchmark::State &state)
     for (auto _ : state) {
         graph.resetFlow();
         flow::Dinic solver(graph);
+        auto begin = std::chrono::steady_clock::now();
         benchmark::DoNotOptimize(solver.solve(0, 1));
+        auto end = std::chrono::steady_clock::now();
+        state.SetIterationTime(
+            std::chrono::duration<double>(end - begin).count());
     }
 }
-BENCHMARK(BM_Dinic)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_Dinic)->Arg(16)->Arg(64)->Arg(256)->UseManualTime();
+
+/**
+ * Shared setup for the churn-event benchmarks: a placement graph over
+ * a generated long-tail cluster plus the compute edge of one flapping
+ * node. Measures the two ways TopologyManager can react to a churn
+ * event at scale: incremental repair vs a from-scratch re-solve.
+ */
+struct FlapBench
+{
+    std::optional<cluster::ClusterSpec> clus;
+    cluster::Profiler profiler{model::catalog::llama30b()};
+    placement::ModelPlacement placement;
+    int node = -1;
+    double profiled = 0.0;
+
+    explicit FlapBench(int n)
+    {
+        cluster::gen::GeneratorConfig config;
+        config.preset = "long-tail-heterogeneous";
+        config.numNodes = n;
+        config.seed = 42;
+        clus = cluster::gen::generate(config);
+        placement::SwarmPlanner planner;
+        placement = planner.plan(*clus, profiler);
+    }
+
+    /**
+     * Flap the weakest layer-holding node: in the long-tail regime
+     * that is the node that actually flaps and drifts, and its small
+     * flow share keeps the repair delta local.
+     */
+    void
+    pickNode(placement::PlacementGraph &graph)
+    {
+        for (int i = 0; i < clus->numNodes(); ++i) {
+            flow::EdgeId comp = graph.computeEdge(i);
+            if (comp == flow::kInvalidEdge)
+                continue;
+            double cap = graph.graph().edge(comp).originalCapacity;
+            if (node < 0 || cap < profiled) {
+                node = i;
+                profiled = cap;
+            }
+        }
+    }
+};
+
+/**
+ * Single-event incremental repair: one node fails (even iterations)
+ * or recovers (odd iterations) and repairFlow() restores a maximum
+ * flow from the previous one.
+ */
+void
+BM_FlowRepair(benchmark::State &state)
+{
+    FlapBench bench(static_cast<int>(state.range(0)));
+    placement::PlacementGraph live(*bench.clus, bench.profiler,
+                                   bench.placement);
+    live.maxThroughput();
+    bench.pickNode(live);
+    bool down = false;
+    for (auto _ : state) {
+        down = !down;
+        live.setComputeCapacity(bench.node,
+                                down ? 0.0 : bench.profiled);
+        benchmark::DoNotOptimize(live.repairFlow());
+    }
+}
+BENCHMARK(BM_FlowRepair)->Arg(256)->Arg(1000);
+
+/**
+ * Solver-only cold baseline: the same flapping schedule on the same
+ * network, but every event discards the previous flow (resetFlow)
+ * and re-solves from zero labels. Isolates the solver comparison
+ * from the graph-rebuild cost.
+ */
+void
+BM_FlowColdSolve(benchmark::State &state)
+{
+    FlapBench bench(static_cast<int>(state.range(0)));
+    placement::PlacementGraph live(*bench.clus, bench.profiler,
+                                   bench.placement);
+    bench.pickNode(live);
+    flow::EdgeId comp = live.computeEdge(bench.node);
+    // Clone the placement network into a freely mutable FlowGraph
+    // (edge ids match: same construction order).
+    flow::FlowGraph net;
+    const flow::FlowGraph &src_net = live.graph();
+    for (size_t i = 0; i < src_net.numNodes(); ++i)
+        net.addNode();
+    for (size_t e = 0; e < src_net.numEdges() * 2; e += 2) {
+        const flow::Edge &edge =
+            src_net.edge(static_cast<flow::EdgeId>(e));
+        net.addEdge(edge.from, edge.to, edge.originalCapacity);
+    }
+    bool down = false;
+    for (auto _ : state) {
+        down = !down;
+        net.setEdgeCapacity(comp, down ? 0.0 : bench.profiled);
+        net.resetFlow();
+        flow::PreflowPush solver(net);
+        benchmark::DoNotOptimize(
+            solver.solve(live.source(), live.sink()));
+    }
+}
+BENCHMARK(BM_FlowColdSolve)->Arg(256)->Arg(1000);
+
+/**
+ * The full cold event path BM_FlowRepair replaces: what
+ * TopologyManager::resolve() in ResolveMode::Cold runs per churn
+ * event — mask the flapped node out of the placement, rebuild the
+ * placement graph from the profiler, and solve from scratch.
+ */
+void
+BM_FlowColdResolve(benchmark::State &state)
+{
+    FlapBench bench(static_cast<int>(state.range(0)));
+    {
+        placement::PlacementGraph probe(*bench.clus, bench.profiler,
+                                        bench.placement);
+        bench.pickNode(probe);
+    }
+    bool down = false;
+    for (auto _ : state) {
+        down = !down;
+        placement::ModelPlacement masked = bench.placement;
+        if (down)
+            masked[bench.node] = placement::NodePlacement{0, 0};
+        placement::PlacementGraph graph(*bench.clus, bench.profiler,
+                                        masked);
+        benchmark::DoNotOptimize(graph.maxThroughput());
+    }
+}
+BENCHMARK(BM_FlowColdResolve)->Arg(256)->Arg(1000);
 
 void
 BM_PlacementGraphEvaluate(benchmark::State &state)

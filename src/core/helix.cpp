@@ -161,6 +161,9 @@ runExperiment(const Deployment &deployment,
     sim_config.failNodeIndex = config.failNodeIndex;
     sim_config.failAtSeconds = config.failAtSeconds;
     sim_config.churnEvents = config.churnEvents;
+    sim_config.repairTopology = config.repairTopology;
+    sim_config.driftThreshold = config.driftThreshold;
+    sim_config.nodeSlowdown = config.nodeSlowdown;
     sim::ClusterSimulator simulator(
         deployment.clusterSpec(), deployment.profiler(),
         deployment.placement(), scheduler, sim_config);

@@ -149,6 +149,15 @@ struct RunConfig
      *  max-flow on the surviving subgraph and swaps the fresh
      *  topology into the scheduler. */
     std::vector<sim::ChurnEvent> churnEvents;
+    /** Re-solve churn events by warm-start incremental repair instead
+     *  of cold re-solves (sim::SimConfig::repairTopology). */
+    bool repairTopology = false;
+    /** Drift-triggered re-solve threshold in (0, 1); 0 disables
+     *  (sim::SimConfig::driftThreshold). */
+    double driftThreshold = 0.0;
+    /** Per-node batch slowdown multipliers modeling unprofiled
+     *  degradation (sim::SimConfig::nodeSlowdown). */
+    std::vector<double> nodeSlowdown;
 };
 
 /**

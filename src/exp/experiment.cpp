@@ -32,6 +32,8 @@ Scenario::toRun(double warmup_s, double measure_s,
     run.burstMeanS = burstMeanS;
     run.burstGapS = burstGapS;
     run.failNodeIndex = failNodeIndex;
+    run.repairTopology = repairTopology;
+    run.driftThreshold = driftThreshold;
     if (failNodeIndex >= 0 && failAtFraction >= 0.0)
         run.failAtSeconds = failAtFraction * (warmup_s + measure_s);
     run.churnEvents.reserve(churnSchedule.size());
@@ -290,7 +292,11 @@ statOrNan(const StatAccumulator &stat, double value)
                : std::numeric_limits<double>::quiet_NaN();
 }
 
-/** Compact churn log: "fail:1@33=1234.5;recover:1@66=2345.6". */
+/**
+ * Compact churn log: "fail:1@33=1234.5/cold;recover:1@66=2345.6/cold".
+ * The trailing /<resolve> distinguishes cold re-solves from
+ * incremental repairs and drift-triggered shrinks.
+ */
 std::string
 formatChurnEvents(const sim::SimMetrics &metrics)
 {
@@ -303,6 +309,8 @@ formatChurnEvents(const sim::SimMetrics &metrics)
         out += ':' + std::to_string(event.node);
         out += '@' + num(event.time);
         out += '=' + num(event.flow);
+        out += '/';
+        out += sim::toString(event.resolveKind);
     }
     return out;
 }
@@ -440,7 +448,9 @@ resultsToJson(const std::vector<JobResult> &results)
             out << (e == 0 ? "" : ", ") << "{\"kind\": \""
                 << sim::toString(event.kind) << "\", \"node\": "
                 << event.node << ", \"time\": " << num(event.time)
-                << ", \"flow\": " << num(event.flow) << "}";
+                << ", \"flow\": " << num(event.flow)
+                << ", \"resolve\": \""
+                << sim::toString(event.resolveKind) << "\"}";
         }
         out << "]";
         for (const MetricColumn &col : kColumns) {

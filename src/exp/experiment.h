@@ -63,6 +63,12 @@ struct Scenario
      * seconds in RunConfig::churnEvents.
      */
     std::vector<ChurnEventFrac> churnSchedule;
+    /** Re-solve churn events by warm-start incremental repair
+     *  (`repair=1` spec key) instead of cold re-solves. */
+    bool repairTopology = false;
+    /** Drift-triggered re-solve threshold (`drift=<fraction>` spec
+     *  key); 0 disables. */
+    double driftThreshold = 0.0;
 
     /** Materialize as a RunConfig at the given scale. */
     RunConfig toRun(double warmup_s, double measure_s,

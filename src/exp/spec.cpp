@@ -151,6 +151,21 @@ validateSpec(const io::ExperimentSpec &spec, io::ParseError *error)
                 return false;
             }
         }
+        double repair = scenario.get("repair", 0.0);
+        if (repair != 0.0 && repair != 1.0) {
+            setError(error, scenario.line,
+                     "churn repair=" + std::to_string(repair) +
+                         " must be 0 (cold re-solve) or 1 "
+                         "(incremental repair)");
+            return false;
+        }
+        double drift = scenario.get("drift", 0.0);
+        if (drift < 0.0 || drift >= 1.0) {
+            setError(error, scenario.line,
+                     "churn drift=" + std::to_string(drift) +
+                         " must be a fraction in [0, 1)");
+            return false;
+        }
         // Event schedule: every event's node must exist in every
         // declared cluster, times must be fractions declared in
         // non-decreasing order, and the fail/recover alternation must
@@ -246,6 +261,8 @@ scenarioRunConfig(const io::ExperimentSpec &spec,
             catalog = scenarios::churnSchedule(std::move(events),
                                                online_mode);
         }
+        catalog.repairTopology = scenario.get("repair", 0.0) != 0.0;
+        catalog.driftThreshold = scenario.get("drift", 0.0);
     } else { // online-peak
         catalog.name = "online-peak";
         catalog.online = true;

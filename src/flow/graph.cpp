@@ -24,6 +24,8 @@ FlowGraph::addEdge(NodeId from, NodeId to, double capacity)
     edges.push_back({to, from, 0.0, 0.0});
     adjacency[from].push_back(forward);
     adjacency[to].push_back(forward + 1);
+    if (capacity > capScale)
+        capScale = capacity;
     return forward;
 }
 
@@ -52,10 +54,27 @@ FlowGraph::flowOn(EdgeId forward_edge) const
 }
 
 void
+FlowGraph::setEdgeCapacity(EdgeId forward_edge, double capacity)
+{
+    HELIX_ASSERT(forward_edge >= 0 &&
+                 static_cast<size_t>(forward_edge) < edges.size());
+    HELIX_ASSERT((forward_edge & 1) == 0);
+    HELIX_ASSERT(capacity >= 0.0);
+    Edge &e = edges[forward_edge];
+    const double flow = e.originalCapacity - e.capacity;
+    e.originalCapacity = capacity;
+    e.capacity = capacity - flow;
+    if (capacity > capScale)
+        capScale = capacity;
+    dirty.push_back(forward_edge);
+}
+
+void
 FlowGraph::resetFlow()
 {
     for (auto &e : edges)
         e.capacity = e.originalCapacity;
+    dirty.clear();
 }
 
 double
@@ -67,6 +86,19 @@ FlowGraph::outCapacity(NodeId node) const
             total += edges[id].originalCapacity;
     }
     return total;
+}
+
+double
+FlowGraph::netOutflow(NodeId node) const
+{
+    double value = 0.0;
+    for (EdgeId id : outEdges(node)) {
+        if ((id & 1) == 0)
+            value += flowOn(id);
+        else
+            value -= flowOn(id ^ 1);
+    }
+    return value;
 }
 
 } // namespace flow

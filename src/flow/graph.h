@@ -90,13 +90,49 @@ class FlowGraph
     /** Restore every edge's residual capacity to its original value. */
     void resetFlow();
 
+    /**
+     * Change a forward edge's capacity while preserving the flow
+     * currently recorded on it. The residual capacity becomes
+     * new_capacity - current_flow and may go negative when the edge is
+     * now over-committed; PreflowPush::repair() restores feasibility
+     * (and maximality) incrementally from that state.
+     */
+    void setEdgeCapacity(EdgeId forward_edge, double capacity);
+
     /** Total capacity leaving @p node over forward edges. */
     double outCapacity(NodeId node) const;
+
+    /**
+     * Net flow leaving @p node: flow on forward out-edges minus flow
+     * on forward in-edges. At the source this is the flow value; both
+     * solve() and repair() report it through this one accumulation so
+     * the two paths agree bit-for-bit.
+     */
+    double netOutflow(NodeId node) const;
+
+    /**
+     * Largest forward-edge capacity ever configured (via addEdge or
+     * setEdgeCapacity) — the solvers' tolerance scale. A high-water
+     * mark, not the current maximum, so it is O(1) to maintain; a
+     * marginally loose tolerance after a capacity shrink only affects
+     * which sub-noise flows get snapped to zero.
+     */
+    double capacityScale() const { return capScale; }
+
+    /**
+     * Forward edges edited by setEdgeCapacity since the last solver
+     * pass — PreflowPush::repair's phase-1 worklist, letting it visit
+     * only the edited arcs instead of scanning every edge. Consumed
+     * (cleared) by solve()/repair(); may hold duplicates.
+     */
+    std::vector<EdgeId> &dirtyEdges() { return dirty; }
 
   private:
     std::vector<Edge> edges;
     std::vector<std::vector<EdgeId>> adjacency;
     std::vector<std::string> labels;
+    std::vector<EdgeId> dirty;
+    double capScale = 0.0;
 };
 
 } // namespace flow

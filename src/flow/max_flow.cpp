@@ -8,6 +8,22 @@
 namespace helix {
 namespace flow {
 
+namespace {
+
+/**
+ * Scale-aware comparison tolerance for a graph: edge capacities may
+ * span many orders of magnitude (coordinator token links vs. compute
+ * edges), so absolute kFlowEps alone cannot absorb the floating-point
+ * cancellation left behind on saturated high-capacity arcs.
+ */
+double
+scaleTolerance(const FlowGraph &graph)
+{
+    return std::max(kFlowEps, 1e-9 * graph.capacityScale());
+}
+
+} // namespace
+
 PreflowPush::PreflowPush(FlowGraph &g) : graph(g)
 {
 }
@@ -211,6 +227,9 @@ PreflowPush::solve(NodeId source, NodeId sink)
 
     double value = excess[sink];
     convertToFlow(source, sink);
+    // A cold solve incorporates every capacity edit; repair() must
+    // not reprocess them.
+    graph.dirtyEdges().clear();
     return value;
 }
 
@@ -222,15 +241,7 @@ PreflowPush::convertToFlow(NodeId source, NodeId sink)
     // flow along residual walks, so the recorded edge flows satisfy
     // conservation (required by flow decomposition and IWRR weights).
     size_t n = graph.numNodes();
-    // Edge capacities may span many orders of magnitude (coordinator
-    // token links vs. compute edges), so use a scale-aware tolerance
-    // to absorb floating-point cancellation.
-    double scale = 0.0;
-    for (size_t id = 0; id < 2 * graph.numEdges(); id += 2) {
-        scale = std::max(
-            scale, graph.edge(static_cast<EdgeId>(id)).originalCapacity);
-    }
-    const double tol = std::max(kFlowEps, 1e-9 * scale);
+    const double tol = scaleTolerance(graph);
     std::vector<int> visited(n, 0);
     int stamp = 0;
     for (NodeId v = 0; v < static_cast<NodeId>(n); ++v) {
@@ -304,6 +315,186 @@ PreflowPush::convertToFlow(NodeId source, NodeId sink)
             excess[source] += delta;
         }
     }
+}
+
+void
+PreflowPush::cancelFlow(NodeId start, NodeId terminal, bool toward_source,
+                        double amount, double tol)
+{
+    const size_t n = graph.numNodes();
+    std::vector<int> visited(n, 0);
+    int stamp = 0;
+    // Traversed arc -> forward edge whose flow the step cancels. Walks
+    // toward the source take residual twins (odd ids) of incoming flow
+    // edges; walks toward the sink take flow-carrying forward edges.
+    auto forwardOf = [&](EdgeId traversed) {
+        return toward_source ? (traversed ^ 1) : traversed;
+    };
+    while (amount > tol) {
+        ++stamp;
+        std::vector<EdgeId> walk;
+        std::vector<NodeId> walk_nodes{start};
+        visited[start] = stamp;
+        NodeId at = start;
+        NodeId cycle_at = kInvalidNode;
+        while (at != terminal) {
+            EdgeId chosen = kInvalidEdge;
+            double best_flow = kFlowEps;
+            for (EdgeId id : graph.outEdges(at)) {
+                if (((id & 1) == 1) != toward_source)
+                    continue;
+                double f = graph.flowOn(forwardOf(id));
+                if (f > best_flow) {
+                    best_flow = f;
+                    chosen = id;
+                }
+            }
+            if (chosen == kInvalidEdge) {
+                if (amount <= 2.0 * tol)
+                    return; // Residual rounding noise; drop it.
+                HELIX_PANIC("flow repair: stranded %g surplus at node "
+                            "%d", amount, at);
+            }
+            walk.push_back(chosen);
+            at = graph.edge(chosen).to;
+            walk_nodes.push_back(at);
+            if (at != terminal && visited[at] == stamp) {
+                cycle_at = at;
+                break;
+            }
+            visited[at] = stamp;
+        }
+        if (cycle_at != kInvalidNode) {
+            // Cancel the flow cycle and retry the walk.
+            size_t cstart = 0;
+            while (walk_nodes[cstart] != cycle_at)
+                ++cstart;
+            double delta = std::numeric_limits<double>::max();
+            for (size_t i = cstart; i < walk.size(); ++i)
+                delta = std::min(delta, graph.flowOn(forwardOf(walk[i])));
+            for (size_t i = cstart; i < walk.size(); ++i) {
+                graph.edge(forwardOf(walk[i])).capacity += delta;
+                graph.edge(forwardOf(walk[i]) ^ 1).capacity -= delta;
+                touched.push_back(forwardOf(walk[i]));
+            }
+            continue;
+        }
+        double delta = amount;
+        for (EdgeId id : walk)
+            delta = std::min(delta, graph.flowOn(forwardOf(id)));
+        for (EdgeId id : walk) {
+            graph.edge(forwardOf(id)).capacity += delta;
+            graph.edge(forwardOf(id) ^ 1).capacity -= delta;
+            touched.push_back(forwardOf(id));
+        }
+        amount -= delta;
+    }
+}
+
+bool
+PreflowPush::augmentLevels(NodeId source, NodeId sink)
+{
+    label.assign(graph.numNodes(), -1);
+    label[source] = 0;
+    bfsQueue.clear();
+    bfsQueue.push_back(source);
+    for (size_t head = 0; head < bfsQueue.size(); ++head) {
+        NodeId u = bfsQueue[head];
+        for (EdgeId id : graph.outEdges(u)) {
+            const Edge &e = graph.edge(id);
+            if (e.capacity > kFlowEps && label[e.to] < 0) {
+                label[e.to] = label[u] + 1;
+                bfsQueue.push_back(e.to);
+            }
+        }
+    }
+    return label[sink] >= 0;
+}
+
+double
+PreflowPush::augmentBlocking(NodeId node, NodeId sink, double limit)
+{
+    if (node == sink)
+        return limit;
+    const auto &out = graph.outEdges(node);
+    for (; currentArc[node] < out.size(); ++currentArc[node]) {
+        EdgeId id = out[currentArc[node]];
+        Edge &e = graph.edge(id);
+        if (e.capacity > kFlowEps && label[e.to] == label[node] + 1) {
+            double pushed = augmentBlocking(e.to, sink,
+                                            std::min(limit, e.capacity));
+            if (pushed > kFlowEps) {
+                e.capacity -= pushed;
+                graph.edge(id ^ 1).capacity += pushed;
+                touched.push_back(id & ~1);
+                return pushed;
+            }
+        }
+    }
+    return 0.0;
+}
+
+double
+PreflowPush::repair(NodeId source, NodeId sink)
+{
+    HELIX_ASSERT(source != sink);
+    const size_t n = graph.numNodes();
+    const double tol = scaleTolerance(graph);
+
+    // Phase 1: restore feasibility. setEdgeCapacity() leaves an
+    // over-committed arc with negative residual capacity; clamp its
+    // flow to the new capacity and drain the surplus along the walks
+    // that carried it — backwards to the source and forwards to the
+    // sink — so conservation holds everywhere again. Only edges
+    // edited since the last solver pass (the graph's dirty list) can
+    // be over-committed, so this visits the edit batch, not every
+    // edge.
+    touched.clear();
+    for (EdgeId id : graph.dirtyEdges()) {
+        Edge &e = graph.edge(id);
+        touched.push_back(id);
+        if (e.capacity >= 0.0)
+            continue;
+        double surplus = -e.capacity;
+        e.capacity = 0.0;
+        graph.edge(id ^ 1).capacity = e.originalCapacity;
+        if (e.from != source)
+            cancelFlow(e.from, source, /*toward_source=*/true, surplus,
+                       tol);
+        if (e.to != sink)
+            cancelFlow(e.to, sink, /*toward_source=*/false, surplus,
+                       tol);
+    }
+    graph.dirtyEdges().clear();
+
+    // Phase 2: the feasible flow may no longer be maximum — capacity
+    // increases open new paths and phase 1 may have cancelled
+    // reroutable flow. Augment shortest residual paths until none
+    // remain; by max-flow/min-cut the result equals a cold solve's
+    // value, while the work is proportional to the delta.
+    while (augmentLevels(source, sink)) {
+        currentArc.assign(n, 0);
+        while (augmentBlocking(source, sink,
+                               std::numeric_limits<double>::max()) >
+               kFlowEps) {
+        }
+    }
+
+    // Snap sub-tolerance flows to exactly zero so a drained graph
+    // (e.g. after a node failure severed every path) reports clean
+    // zero flows instead of accumulated rounding noise. Only edges
+    // this repair touched can have picked up fresh noise.
+    for (EdgeId id : touched) {
+        Edge &e = graph.edge(id);
+        double f = graph.flowOn(id);
+        if (f != 0.0 && f < tol) {
+            e.capacity = e.originalCapacity;
+            graph.edge(id ^ 1).capacity = 0.0;
+        }
+    }
+
+    // The repaired value is the net flow leaving the source.
+    return graph.netOutflow(source);
 }
 
 Dinic::Dinic(FlowGraph &g) : graph(g)
@@ -397,15 +588,10 @@ decomposeFlow(const FlowGraph &graph, NodeId source, NodeId sink)
     for (size_t id = 0; id < total_edges; id += 2)
         remaining[id] = graph.flowOn(static_cast<EdgeId>(id));
 
-    // Scale-aware threshold: flows below this are numerical noise
-    // left behind by solves on graphs mixing huge coordinator-link
+    // Flows below the scale-aware threshold are numerical noise left
+    // behind by solves on graphs mixing huge coordinator-link
     // capacities with small compute capacities.
-    double scale = 0.0;
-    for (size_t id = 0; id < total_edges; id += 2) {
-        scale = std::max(
-            scale, graph.edge(static_cast<EdgeId>(id)).originalCapacity);
-    }
-    const double tol = std::max(kFlowEps, 1e-9 * scale);
+    const double tol = scaleTolerance(graph);
 
     std::vector<FlowPath> paths;
     for (;;) {

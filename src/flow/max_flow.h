@@ -40,6 +40,26 @@ class PreflowPush
      */
     double solve(NodeId source, NodeId sink);
 
+    /**
+     * Warm-start incremental repair after capacity updates
+     * (FlowGraph::setEdgeCapacity). Starting from the flow currently
+     * recorded on the graph — typically the previous solve()/repair()
+     * result with a handful of edited arcs — restores feasibility by
+     * cancelling surplus flow on over-committed arcs along the walks
+     * that carry it (back to the source and forward to the sink), then
+     * re-augments on the residual graph until the flow is maximum
+     * again. Only flow through the affected arcs is touched, so a
+     * single-node capacity event costs a few residual walks plus the
+     * augmenting delta instead of a cold solve from zero labels.
+     *
+     * The resulting flow value always equals a cold solve()'s (both
+     * are maximum flows); the per-arc flow assignment may differ
+     * whenever the maximum flow is not unique.
+     *
+     * @return the max-flow value for the current capacities.
+     */
+    double repair(NodeId source, NodeId sink);
+
   private:
     /** Push as much excess as possible across @p edge_id. */
     void push(EdgeId edge_id);
@@ -68,6 +88,25 @@ class PreflowPush
     /** Unlink @p node from the membership list of label @p lbl. */
     void labelErase(NodeId node, int lbl);
 
+    /**
+     * Cancel @p amount units of recorded flow on walks between
+     * @p start and @p terminal, following the thickest flow-carrying
+     * arc at every step and cancelling any flow cycles encountered.
+     * With @p toward_source the walk runs backwards along incoming
+     * flow to the source; otherwise forwards along outgoing flow to
+     * the sink.
+     */
+    void cancelFlow(NodeId start, NodeId terminal, bool toward_source,
+                    double amount, double tol);
+
+    /** Build residual BFS levels from @p source (repair phase 2).
+     *  @return whether the sink is still reachable. */
+    bool augmentLevels(NodeId source, NodeId sink);
+
+    /** Push one blocking-flow augmentation along level-increasing
+     *  residual arcs (repair phase 2). */
+    double augmentBlocking(NodeId node, NodeId sink, double limit);
+
     FlowGraph &graph;
     std::vector<double> excess;
     std::vector<int> label;
@@ -90,6 +129,12 @@ class PreflowPush
     std::vector<NodeId> labelPrev;
     /** Reusable queue for the global-relabel reverse BFS. */
     std::vector<NodeId> bfsQueue;
+    /**
+     * Forward edges whose flow repair() changed (clamps, cancel
+     * walks, re-augmentation) — the only edges its zero-snap pass
+     * needs to visit.
+     */
+    std::vector<EdgeId> touched;
     int highestActive = -1;
     long workSinceRelabel = 0;
 };

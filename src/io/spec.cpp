@@ -47,7 +47,7 @@ scenarioOptionKeys(const std::string &kind)
                     {"utilization", "multiplier", "burst", "gap"});
     } else if (kind == "churn") {
         keys.insert(keys.end(), {"utilization", "node", "at", "online",
-                                 "fail", "recover"});
+                                 "fail", "recover", "repair", "drift"});
     } else if (kind == "online-peak") {
         keys.push_back("fraction");
     }

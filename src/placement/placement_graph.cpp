@@ -90,6 +90,7 @@ PlacementGraph::PlacementGraph(const cluster::ClusterSpec &cluster,
     dst = net.addNode("sink");
     inV.assign(n, flow::kInvalidNode);
     outV.assign(n, flow::kInvalidNode);
+    compEdge.assign(n, flow::kInvalidEdge);
     for (int i = 0; i < n; ++i) {
         const NodePlacement &p = placement[i];
         if (p.count == 0)
@@ -98,7 +99,12 @@ PlacementGraph::PlacementGraph(const cluster::ClusterSpec &cluster,
         outV[i] = net.addNode(cluster.node(i).name + ".out");
         double throughput =
             profiler.decodeThroughput(cluster.node(i), p.count);
-        net.addEdge(inV[i], outV[i], throughput);
+        if (options.computeCapOverride &&
+            i < static_cast<int>(options.computeCapOverride->size()) &&
+            (*options.computeCapOverride)[i] >= 0.0) {
+            throughput = (*options.computeCapOverride)[i];
+        }
+        compEdge[i] = net.addEdge(inV[i], outV[i], throughput);
     }
 
     auto addConnection = [&](int from, int to, double capacity) {
@@ -157,9 +163,46 @@ PlacementGraph::maxThroughput()
 {
     if (!cachedFlow) {
         flow::PreflowPush solver(net);
-        cachedFlow = solver.solve(src, dst);
+        solver.solve(src, dst);
+        // Report the value via the same accumulation repairFlow()
+        // uses, so a repaired run and a cold run of the same network
+        // log bit-identical flow values.
+        cachedFlow = net.netOutflow(src);
     }
     return *cachedFlow;
+}
+
+double
+PlacementGraph::repairFlow()
+{
+    flow::PreflowPush solver(net);
+    cachedFlow = solver.repair(src, dst);
+    return *cachedFlow;
+}
+
+void
+PlacementGraph::setComputeCapacity(int node, double capacity)
+{
+    HELIX_ASSERT(node >= 0 && node < side - 1);
+    HELIX_ASSERT(compEdge[node] != flow::kInvalidEdge);
+    net.setEdgeCapacity(compEdge[node], capacity);
+}
+
+flow::EdgeId
+PlacementGraph::computeEdge(int node) const
+{
+    HELIX_ASSERT(node >= 0 && node < side - 1);
+    return compEdge[node];
+}
+
+double
+PlacementGraph::nodeFlow(int node) const
+{
+    HELIX_ASSERT(node >= 0 && node < side - 1);
+    if (compEdge[node] == flow::kInvalidEdge)
+        return 0.0;
+    HELIX_ASSERT(cachedFlow.has_value());
+    return net.flowOn(compEdge[node]);
 }
 
 bool

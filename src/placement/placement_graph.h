@@ -74,6 +74,13 @@ struct GraphBuildOptions
     bool allowPartialInference = true;
     /** Optional pruning filter; nullptr means all pairs allowed. */
     const ConnectionFilter *filter = nullptr;
+    /**
+     * Optional per-node compute-capacity overrides (tokens/s);
+     * entries < 0 mean "use the profiled decode throughput". Used by
+     * the live topology manager to shrink drifting nodes when it
+     * rebuilds cold. nullptr means no overrides.
+     */
+    const std::vector<double> *computeCapOverride = nullptr;
 };
 
 /**
@@ -93,6 +100,33 @@ class PlacementGraph
      * most once; subsequent calls return the cached value.
      */
     double maxThroughput();
+
+    /**
+     * Incrementally repair the flow after setComputeCapacity() calls
+     * via PreflowPush::repair(): only flow through the changed arcs
+     * is cancelled and re-augmented, instead of a cold re-solve. Also
+     * valid on an unsolved graph (degenerates to a full solve).
+     * @return the updated max-flow value, which becomes the cached
+     *         maxThroughput() value.
+     */
+    double repairFlow();
+
+    /**
+     * Update @p node's compute-edge capacity in place (tokens/s),
+     * preserving the flow currently recorded on the graph. Zero
+     * severs all flow through the node — equivalent to removing it
+     * from the graph. Call repairFlow() (or re-solve) afterwards;
+     * until then recorded flows may be infeasible.
+     */
+    void setComputeCapacity(int node, double capacity);
+
+    /** Forward edge carrying @p node's compute throughput, or
+     *  flow::kInvalidEdge when the node holds no layers. */
+    flow::EdgeId computeEdge(int node) const;
+
+    /** Flow currently routed through @p node's compute edge (0 for
+     *  nodes holding no layers). Requires a solved/repaired flow. */
+    double nodeFlow(int node) const;
 
     /** Flow on the connection from @p from to @p to; endpoints may be
      *  cluster::kCoordinator. Requires maxThroughput() first. */
@@ -140,6 +174,8 @@ class PlacementGraph
     flow::NodeId dst = flow::kInvalidNode;
     std::vector<flow::NodeId> inV;
     std::vector<flow::NodeId> outV;
+    /** Compute edge (in -> out) per node; kInvalidEdge if no layers. */
+    std::vector<flow::EdgeId> compEdge;
     /** Edge id per directed connection, keyed by (from+1)*side+(to+1). */
     std::vector<flow::EdgeId> connEdge;
     int side = 0;

@@ -9,12 +9,29 @@ TopologyManager::TopologyManager(
     const cluster::ClusterSpec &cluster,
     const cluster::Profiler &profiler,
     const placement::ModelPlacement &placement,
-    placement::GraphBuildOptions options)
+    placement::GraphBuildOptions options, ResolveMode resolve_mode)
     : clusterRef(cluster), profilerRef(profiler),
-      placementRef(placement), opts(options),
-      alive(placement.size(), true)
+      placementRef(placement), opts(options), mode(resolve_mode),
+      alive(placement.size(), true),
+      capOverride(placement.size(), -1.0),
+      planned(placement.size(), 0.0)
 {
-    rebuild();
+    if (mode == ResolveMode::Repair) {
+        // One persistent flow network over the full placement; every
+        // later event is a compute-edge capacity update on it. The
+        // initial build is a cold solve.
+        liveGraph = std::make_unique<placement::PlacementGraph>(
+            clusterRef, profilerRef, placementRef, opts);
+        liveGraph->maxThroughput();
+        ++solves;
+        placement::ModelPlacement masked = placementRef;
+        topo = std::make_unique<Topology>(clusterRef, profilerRef,
+                                          masked, *liveGraph);
+        for (size_t i = 0; i < planned.size(); ++i)
+            planned[i] = liveGraph->nodeFlow(static_cast<int>(i));
+    } else {
+        resolve();
+    }
 }
 
 bool
@@ -26,6 +43,33 @@ TopologyManager::nodeAlive(int node) const
 }
 
 double
+TopologyManager::effectiveCapacity(int node) const
+{
+    if (!alive[node] || placementRef[node].count == 0)
+        return 0.0;
+    if (capOverride[node] >= 0.0)
+        return capOverride[node];
+    return profilerRef.decodeThroughput(clusterRef.node(node),
+                                        placementRef[node].count);
+}
+
+double
+TopologyManager::nodeCapacity(int node) const
+{
+    HELIX_ASSERT(node >= 0 &&
+                 node < static_cast<int>(alive.size()));
+    return effectiveCapacity(node);
+}
+
+double
+TopologyManager::plannedNodeFlow(int node) const
+{
+    HELIX_ASSERT(node >= 0 &&
+                 node < static_cast<int>(planned.size()));
+    return planned[node];
+}
+
+double
 TopologyManager::setNodeAlive(int node, bool is_alive)
 {
     HELIX_ASSERT(node >= 0 &&
@@ -33,24 +77,68 @@ TopologyManager::setNodeAlive(int node, bool is_alive)
     if (alive[node] == is_alive)
         return currentFlow();
     alive[node] = is_alive;
-    rebuild();
+    // A recovered node serves at its profiled speed again; drift will
+    // re-shrink it if its observed throughput still lags.
+    if (is_alive)
+        capOverride[node] = -1.0;
+    resolve();
+    return currentFlow();
+}
+
+double
+TopologyManager::setNodeCapacity(int node, double tokens_per_s)
+{
+    HELIX_ASSERT(node >= 0 &&
+                 node < static_cast<int>(alive.size()));
+    if (!alive[node] || placementRef[node].count == 0)
+        return currentFlow();
+    double next = tokens_per_s < 0.0 ? -1.0 : tokens_per_s;
+    if (capOverride[node] == next)
+        return currentFlow();
+    capOverride[node] = next;
+    resolve();
     return currentFlow();
 }
 
 void
-TopologyManager::rebuild()
+TopologyManager::resolve()
 {
     // Restrict the placement to live nodes: a dead node's interval is
     // zeroed, which removes its vertices and every incident edge from
-    // the placement graph (PlacementGraph skips count == 0 nodes), so
-    // the max flow is solved on exactly the surviving subgraph.
+    // a cold-built placement graph (PlacementGraph skips count == 0
+    // nodes). The published Topology carries the masked placement in
+    // both modes so schedulers see dead nodes as layer-less.
     placement::ModelPlacement masked = placementRef;
     for (size_t i = 0; i < masked.size(); ++i) {
         if (!alive[i])
             masked[i] = placement::NodePlacement{0, 0};
     }
+    if (mode == ResolveMode::Repair) {
+        // The persistent graph keeps every node; liveness and drift
+        // are capacity updates on the node's compute edge (zero
+        // capacity severs exactly the flow through the node), then a
+        // warm-start repair restores a maximum flow.
+        for (size_t i = 0; i < alive.size(); ++i) {
+            int node = static_cast<int>(i);
+            if (liveGraph->computeEdge(node) == flow::kInvalidEdge)
+                continue;
+            double want = effectiveCapacity(node);
+            flow::EdgeId e = liveGraph->computeEdge(node);
+            if (liveGraph->graph().edge(e).originalCapacity != want)
+                liveGraph->setComputeCapacity(node, want);
+        }
+        liveGraph->repairFlow();
+        ++repairs;
+        topo = std::make_unique<Topology>(clusterRef, profilerRef,
+                                          masked, *liveGraph);
+        for (size_t i = 0; i < planned.size(); ++i)
+            planned[i] = liveGraph->nodeFlow(static_cast<int>(i));
+        return;
+    }
+    placement::GraphBuildOptions local = opts;
+    local.computeCapOverride = &capOverride;
     placement::PlacementGraph graph(clusterRef, profilerRef, masked,
-                                    opts);
+                                    local);
     graph.maxThroughput();
     // Topology copies the placements and edge flows it needs, so the
     // local graph and masked placement may go out of scope. Consumers
@@ -58,6 +146,8 @@ TopologyManager::rebuild()
     // so the replaced topology can be released immediately.
     topo = std::make_unique<Topology>(clusterRef, profilerRef, masked,
                                       graph);
+    for (size_t i = 0; i < planned.size(); ++i)
+        planned[i] = graph.nodeFlow(static_cast<int>(i));
     ++solves;
 }
 

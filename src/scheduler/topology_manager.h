@@ -8,14 +8,33 @@
  * stale: surviving nodes must not keep their pre-failure flow
  * proportions, and the reported serving bound must reflect the
  * surviving subgraph. TopologyManager owns that invariant: it tracks
- * per-node liveness, and on every change re-runs preflow-push
- * max-flow on the placement graph restricted to live nodes, producing
- * a fresh Topology whose edge flows become the schedulers' IWRR
- * weights (RequestScheduler::onTopologyChange swaps them in).
+ * per-node liveness and per-node capacity overrides, and on every
+ * change re-solves max-flow on the live placement graph, producing a
+ * fresh Topology whose edge flows become the schedulers' IWRR weights
+ * (RequestScheduler::onTopologyChange swaps them in).
  *
- * Re-solves are deterministic: the masked graph is rebuilt in node
- * order and solved with the same preflow-push configuration every
- * time, so a given liveness set always yields byte-identical flows.
+ * Two re-solve strategies are supported (ResolveMode):
+ *
+ * - Cold: rebuild the placement graph masked to live nodes and
+ *   re-solve preflow-push from scratch. Deterministic — the masked
+ *   graph is rebuilt in node order and solved with the same
+ *   preflow-push configuration every time, so a given liveness set
+ *   always yields byte-identical flows.
+ *
+ * - Repair: keep one persistent flow network over the full placement
+ *   where every liveness/capacity event is a single compute-edge
+ *   capacity update (a dead node's in->out edge drops to zero, which
+ *   severs exactly the flow through that node), then warm-start
+ *   PreflowPush::repair() so only the affected flow is cancelled and
+ *   re-augmented. The repaired flow value always equals the cold
+ *   value; per-edge flows agree whenever the max flow is unique.
+ *
+ * Beyond liveness, capacity overrides generalize the re-solve trigger
+ * to observed-throughput drift (ROADMAP: "Incremental max-flow and
+ * drift-triggered re-solve"): when a node's EWMA decode throughput
+ * falls below its planned flow, the simulator shrinks the node's
+ * compute capacity via setNodeCapacity() so the straggler loses
+ * routing weight mid-run.
  */
 
 #ifndef HELIX_SCHEDULER_TOPOLOGY_MANAGER_H
@@ -30,6 +49,15 @@
 namespace helix {
 namespace scheduler {
 
+/** How TopologyManager re-solves after a liveness or capacity event. */
+enum class ResolveMode
+{
+    /** Rebuild the masked placement graph and cold-solve (default). */
+    Cold,
+    /** Keep one persistent flow network and warm-start repair. */
+    Repair,
+};
+
 /**
  * Tracks node liveness and keeps a Topology solved on the surviving
  * subgraph of a placement. The cluster, profiler, and placement are
@@ -41,7 +69,8 @@ class TopologyManager
     TopologyManager(const cluster::ClusterSpec &cluster,
                     const cluster::Profiler &profiler,
                     const placement::ModelPlacement &placement,
-                    placement::GraphBuildOptions options = {});
+                    placement::GraphBuildOptions options = {},
+                    ResolveMode mode = ResolveMode::Cold);
 
     /** The topology solved for the current liveness set. */
     const Topology &current() const { return *topo; }
@@ -50,30 +79,70 @@ class TopologyManager
 
     /**
      * Mark @p node dead or alive and re-solve max-flow on the
-     * surviving subgraph. No-op (returning the current flow) when the
-     * liveness bit is unchanged.
+     * surviving subgraph. Recovery also restores the node's profiled
+     * compute capacity, clearing any drift shrink. No-op (returning
+     * the current flow) when the liveness bit is unchanged.
      * @return the max-flow value of the new topology (tokens/s).
      */
     double setNodeAlive(int node, bool alive);
 
+    /**
+     * Override @p node's compute capacity to @p tokens_per_s (e.g.
+     * the observed EWMA throughput of a drifting straggler) and
+     * re-solve so routing weight shifts away from it. A negative
+     * value restores the profiled capacity. No-op on dead nodes and
+     * on unchanged values.
+     * @return the max-flow value of the new topology (tokens/s).
+     */
+    double setNodeCapacity(int node, double tokens_per_s);
+
+    /** Current compute capacity of @p node (tokens/s): the override
+     *  when set, otherwise the profiled decode throughput; 0 for
+     *  nodes holding no layers. */
+    double nodeCapacity(int node) const;
+
+    /** Flow planned through @p node's compute edge by the current
+     *  topology (tokens/s) — the reference the drift trigger compares
+     *  observed EWMA throughput against. */
+    double plannedNodeFlow(int node) const;
+
     /** Max-flow value of the current topology (tokens/s). */
     double currentFlow() const { return topo->maxFlow(); }
 
-    /** Number of max-flow re-solves performed (initial build + one
-     *  per effective liveness change). */
+    /** Number of cold max-flow solves performed (initial build + one
+     *  per effective event in Cold mode). */
     int numSolves() const { return solves; }
 
+    /** Number of warm-start incremental repairs performed (Repair
+     *  mode only; the initial build is always a cold solve). */
+    int numRepairs() const { return repairs; }
+
+    ResolveMode resolveMode() const { return mode; }
+
   private:
-    /** Rebuild the masked placement graph and re-solve. */
-    void rebuild();
+    /** Rebuild the masked placement graph and re-solve (Cold), or
+     *  update the persistent graph's capacities and repair (Repair),
+     *  then refresh the published Topology. */
+    void resolve();
+
+    /** Compute capacity currently in force for @p node. */
+    double effectiveCapacity(int node) const;
 
     const cluster::ClusterSpec &clusterRef;
     const cluster::Profiler &profilerRef;
     const placement::ModelPlacement &placementRef;
     placement::GraphBuildOptions opts;
+    ResolveMode mode;
     std::vector<bool> alive;
+    /** Per-node compute-capacity override (tokens/s); < 0 = profiled. */
+    std::vector<double> capOverride;
+    /** Persistent flow network (Repair mode only). */
+    std::unique_ptr<placement::PlacementGraph> liveGraph;
     std::unique_ptr<Topology> topo;
+    /** Planned per-node compute-edge flow of the current topology. */
+    std::vector<double> planned;
     int solves = 0;
+    int repairs = 0;
 };
 
 } // namespace scheduler

@@ -15,6 +15,18 @@ toString(ChurnEvent::Kind kind)
     switch (kind) {
       case ChurnEvent::Kind::Fail:    return "fail";
       case ChurnEvent::Kind::Recover: return "recover";
+      case ChurnEvent::Kind::Drift:   return "drift";
+    }
+    return "?";
+}
+
+const char *
+toString(ResolveKind kind)
+{
+    switch (kind) {
+      case ResolveKind::Cold:   return "cold";
+      case ResolveKind::Repair: return "repair";
+      case ResolveKind::Drift:  return "drift";
     }
     return "?";
 }
@@ -337,6 +349,18 @@ ClusterSimulator::startBatch(int node)
     double memory_s = (weight_bytes + kv_bytes) / eff_bw;
     double batch_s = std::max(compute_s, memory_s) +
                      cost.iterationOverheadS;
+    // Duration the profiled cost model alone predicts; the
+    // multipliers below are exactly the degradation the drift
+    // trigger is meant to observe.
+    const double model_s = batch_s;
+
+    // Degradation the profiler did not see (SimConfig::nodeSlowdown):
+    // the node runs slower than planned, which the drift trigger can
+    // then observe and route around.
+    if (node < static_cast<int>(cfg.nodeSlowdown.size()) &&
+        cfg.nodeSlowdown[node] > 0.0) {
+        batch_s *= cfg.nodeSlowdown[node];
+    }
 
     // KV oversubscription: model paging to host memory as a slowdown.
     if (state.kvCapacity > 0.0 && state.kvUsed > state.kvCapacity) {
@@ -354,6 +378,7 @@ ClusterSimulator::startBatch(int node)
     ev.kind = Event::Kind::BatchDone;
     ev.node = node;
     ev.batchSeconds = batch_s;
+    ev.modelSeconds = model_s;
     // Stamp the node's liveness epoch so a failure (and possible
     // recovery) between now and completion invalidates this batch.
     ev.item.epoch = state.epoch;
@@ -362,6 +387,7 @@ ClusterSimulator::startBatch(int node)
 
 void
 ClusterSimulator::finishBatch(int node, double batch_seconds,
+                              double model_seconds,
                               uint32_t node_epoch)
 {
     NodeState &state = nodes[node];
@@ -461,6 +487,17 @@ ClusterSimulator::finishBatch(int node, double batch_seconds,
                        std::max(1e-9, cfg.throughputEwmaTauS));
     state.ewmaThroughput += alpha * (rate - state.ewmaThroughput);
     state.ewmaUpdatedAt = now;
+    // Speed sample for the drift trigger: 1.0 when the batch took
+    // exactly what the cost model predicts, < 1 when the node ran
+    // slower than profiled (nodeSlowdown, KV paging).
+    if (batch_seconds > 0.0 && model_seconds > 0.0) {
+        double speed = model_seconds / batch_seconds;
+        state.ewmaSpeed += alpha * (speed - state.ewmaSpeed);
+    }
+
+    // Drift trigger: a node whose observed rate has fallen below its
+    // planned flow loses routing weight before the next batch starts.
+    maybeDriftResolve(node);
 
     if (!state.queue.empty())
         startBatch(node);
@@ -542,25 +579,78 @@ ClusterSimulator::onTokenAtCoordinator(int request, uint32_t epoch)
                   ev);
 }
 
+scheduler::TopologyManager &
+ClusterSimulator::topologyManager()
+{
+    // Lazily build the manager: runs without churn or drift never pay
+    // for the extra max-flow solves. The first build solves the full
+    // topology (identical flows to the deployment's own solve —
+    // construction and preflow-push are deterministic), then each
+    // event re-solves on the surviving subgraph, cold or via
+    // warm-start repair per SimConfig::repairTopology.
+    if (!topoManager) {
+        topoManager = std::make_unique<scheduler::TopologyManager>(
+            clusterRef, profiler, placementRef,
+            placement::GraphBuildOptions{},
+            cfg.repairTopology ? scheduler::ResolveMode::Repair
+                               : scheduler::ResolveMode::Cold);
+    }
+    return *topoManager;
+}
+
 void
 ClusterSimulator::resolveTopology(int node, ChurnEvent::Kind kind)
 {
-    // Lazily build the manager: runs without churn never pay for the
-    // extra max-flow solves. The first build solves the full topology
-    // (identical flows to the deployment's own solve — construction
-    // and preflow-push are deterministic), then the liveness change
-    // re-solves on the surviving subgraph.
-    if (!topoManager) {
-        topoManager = std::make_unique<scheduler::TopologyManager>(
-            clusterRef, profiler, placementRef);
-    }
-    double flow = topoManager->setNodeAlive(
+    scheduler::TopologyManager &manager = topologyManager();
+    double flow = manager.setNodeAlive(
         node, kind == ChurnEvent::Kind::Recover);
     // Atomic swap from the scheduler's point of view: no scheduling
     // decision can observe a half-updated weight set, because the
     // rebind happens inside this event before any walk runs.
-    sched.onTopologyChange(topoManager->current());
-    metrics.flowEvents.push_back({now, node, kind, flow});
+    sched.onTopologyChange(manager.current());
+    metrics.flowEvents.push_back({now, node, kind, flow,
+                                  cfg.repairTopology
+                                      ? ResolveKind::Repair
+                                      : ResolveKind::Cold});
+}
+
+void
+ClusterSimulator::maybeDriftResolve(int node)
+{
+    if (cfg.driftThreshold <= 0.0)
+        return;
+    NodeState &state = nodes[node];
+    if (state.dead || state.layersHeld == 0)
+        return;
+    // Only act on a matured estimate: the EWMA climbs from zero, so
+    // until the node has been busy for about one time constant the
+    // observed rate understates steady state and would trigger
+    // spurious shrinks.
+    if (state.busySeconds < cfg.throughputEwmaTauS)
+        return;
+    scheduler::TopologyManager &manager = topologyManager();
+    double planned = manager.plannedNodeFlow(node);
+    if (planned <= flow::kFlowEps)
+        return;
+    // Observed serving capacity in the planner's units: the profiled
+    // decode throughput scaled by the measured speed factor. The raw
+    // ewmaThroughput blends prompt and decode tokens and is NOT
+    // comparable to the planned decode flow.
+    double observed =
+        state.ewmaSpeed *
+        profiler.decodeThroughput(clusterRef.node(node),
+                                  state.layersHeld);
+    if (observed >= planned * (1.0 - cfg.driftThreshold))
+        return;
+    // The straggler is serving below plan: shrink its compute
+    // capacity to the observed rate so the re-solved flow routes
+    // around it. plannedNodeFlow drops to at most the observed rate
+    // afterwards, so the trigger re-arms only if the node degrades
+    // further.
+    double flow = manager.setNodeCapacity(node, observed);
+    sched.onTopologyChange(manager.current());
+    metrics.flowEvents.push_back({now, node, ChurnEvent::Kind::Drift,
+                                  flow, ResolveKind::Drift});
 }
 
 void
@@ -661,6 +751,7 @@ ClusterSimulator::onNodeRecovery(int node)
     state.inFlight = 0;
     state.kvUsed = 0.0;
     state.ewmaThroughput = 0.0;
+    state.ewmaSpeed = 1.0;
     state.ewmaUpdatedAt = now;
 
     // Re-solve with the node back in the graph and swap the restored
@@ -687,7 +778,8 @@ ClusterSimulator::dispatch(const Event &event)
         onTokenAtCoordinator(event.item.request, event.item.epoch);
         break;
       case Event::Kind::BatchDone:
-        finishBatch(event.node, event.batchSeconds, event.item.epoch);
+        finishBatch(event.node, event.batchSeconds,
+                    event.modelSeconds, event.item.epoch);
         break;
       case Event::Kind::NodeFailure:
         onNodeFailure(event.node);
@@ -730,7 +822,8 @@ ClusterSimulator::run(const std::vector<trace::Request> &request_list)
     for (const ChurnEvent &event : churn) {
         if (event.node < 0 ||
             event.node >= static_cast<int>(nodes.size()) ||
-            event.atSeconds < 0.0)
+            event.atSeconds < 0.0 ||
+            event.kind == ChurnEvent::Kind::Drift)
             continue;
         Event ev;
         ev.kind = event.kind == ChurnEvent::Kind::Fail

@@ -65,6 +65,12 @@ struct ChurnEvent
         Fail,
         /** The node rejoins with empty KV and queue. */
         Recover,
+        /**
+         * Observed-throughput drift shrank the node's capacity. Never
+         * appears in schedules — only in SimMetrics::FlowEvent logs
+         * of drift-triggered re-solves.
+         */
+        Drift,
     };
 
     Kind kind = Kind::Fail;
@@ -74,6 +80,22 @@ struct ChurnEvent
 
 /** Human-readable name of a ChurnEvent::Kind ("fail"/"recover"). */
 const char *toString(ChurnEvent::Kind kind);
+
+/**
+ * How a topology re-solve happened: a cold solve of the masked
+ * placement graph, a warm-start incremental repair of the persistent
+ * flow network, or a drift-triggered capacity shrink (a node's
+ * observed EWMA throughput fell below its planned flow).
+ */
+enum class ResolveKind : uint8_t
+{
+    Cold,
+    Repair,
+    Drift,
+};
+
+/** Human-readable name of a ResolveKind ("cold"/"repair"/"drift"). */
+const char *toString(ResolveKind kind);
 
 /** Simulation parameters. */
 struct SimConfig
@@ -128,6 +150,35 @@ struct SimConfig
      * the same total duration influence the estimate equally.
      */
     double throughputEwmaTauS = 10.0;
+    /**
+     * Re-solve churn events with warm-start incremental repair
+     * (scheduler::ResolveMode::Repair) instead of cold re-solves of
+     * the masked placement graph. Same flow value either way; the
+     * per-event cost drops from a full preflow-push to the repair
+     * delta.
+     */
+    bool repairTopology = false;
+    /**
+     * Drift-triggered re-solve threshold, as a fraction in (0, 1):
+     * after a batch completes on a node whose speed estimate has
+     * matured (cumulative busy time >= throughputEwmaTauS), the
+     * observed decode throughput is the profiled capacity scaled by
+     * the node's speed EWMA (modeled / actual batch duration). When
+     * that observed throughput falls below
+     * plannedFlow * (1 - driftThreshold), the node's compute capacity
+     * is shrunk to the observed rate and the topology re-solved,
+     * shifting routing weight away from the straggler. 0 disables
+     * drift detection.
+     */
+    double driftThreshold = 0.0;
+    /**
+     * Per-node batch-duration multipliers modeling degradation the
+     * profiler did not see (thermal throttling, co-tenant
+     * interference): entries > 1 slow the node down. Empty or
+     * missing entries mean 1.0. Scenario/test hook for exercising
+     * the drift trigger.
+     */
+    std::vector<double> nodeSlowdown;
 };
 
 /** Per-directed-link congestion statistics (Sec. 6.7 case study). */
@@ -169,8 +220,10 @@ struct SimMetrics
     /** Requests restarted because a node failed mid-run. */
     long requestsRestarted = 0;
     /**
-     * One entry per applied churn event: the re-solved max-flow value
-     * of the surviving subgraph right after the event took effect.
+     * One entry per applied topology re-solve: scheduled churn events
+     * (fail/recover) and drift-triggered capacity shrinks, with the
+     * re-solved max-flow value of the live topology right after the
+     * event took effect.
      */
     struct FlowEvent
     {
@@ -179,6 +232,8 @@ struct SimMetrics
         ChurnEvent::Kind kind = ChurnEvent::Kind::Fail;
         /** Max-flow of the live topology after the event, tokens/s. */
         double flow = 0.0;
+        /** How the re-solve happened: cold | repair | drift. */
+        ResolveKind resolveKind = ResolveKind::Cold;
     };
     std::vector<FlowEvent> flowEvents;
     long decodeTokensInWindow = 0;
@@ -269,7 +324,11 @@ class ClusterSimulator : public scheduler::SchedulerContext
 
         double time = 0.0;
         uint64_t seq = 0;
-        double batchSeconds = 0.0; // BatchDone
+        double batchSeconds = 0.0; // BatchDone: actual duration
+        /** BatchDone: duration the cost model alone predicts, before
+         *  unprofiled multipliers (nodeSlowdown, KV paging). The
+         *  ratio model/actual is the drift trigger's speed sample. */
+        double modelSeconds = 0.0;
         WorkItem item;             // WorkDelivery / Arrival / Token
         int node = 0;              // WorkDelivery / BatchDone / Failure
         Kind kind = Kind::Arrival;
@@ -301,6 +360,13 @@ class ClusterSimulator : public scheduler::SchedulerContext
          *  the estimate by the elapsed time since then, so idle or
          *  dead nodes do not keep reporting their last busy rate. */
         double ewmaUpdatedAt = 0.0;
+        /**
+         * Speed EWMA for the drift trigger: modeled / actual batch
+         * duration, 1.0 at profiled speed, < 1 when throttled. Kept
+         * separate from ewmaThroughput, whose blended prompt+decode
+         * token rate is not comparable to planned (decode) flow.
+         */
+        double ewmaSpeed = 1.0;
         /**
          * Liveness epoch: bumped when the node fails, so a BatchDone
          * scheduled before the failure is recognized as stale even if
@@ -385,6 +451,7 @@ class ClusterSimulator : public scheduler::SchedulerContext
      *  node's liveness epoch when the batch started; a mismatch means
      *  the node failed meanwhile and the batch was dropped. */
     void finishBatch(int node, double batch_seconds,
+                     double model_seconds,
                      uint32_t node_epoch);
 
     /** Handle an output token arriving back at the coordinator. */
@@ -402,6 +469,18 @@ class ClusterSimulator : public scheduler::SchedulerContext
      * new flow value in SimMetrics::flowEvents.
      */
     void resolveTopology(int node, ChurnEvent::Kind kind);
+
+    /** Lazily build the live-topology manager (first churn or drift
+     *  event), honoring SimConfig::repairTopology. */
+    scheduler::TopologyManager &topologyManager();
+
+    /**
+     * Drift check after a batch on @p node: once the throughput EWMA
+     * has matured, a node observed below plannedFlow * (1 - threshold)
+     * has its compute capacity shrunk to the observed rate and the
+     * topology re-solved (SimConfig::driftThreshold).
+     */
+    void maybeDriftResolve(int node);
 
     /** Current context length of a request (prompt + generated). */
     double contextLen(const RequestState &rs) const;

@@ -458,31 +458,7 @@ TEST_F(ChurnFixture, MultiEventChurnDeterministic)
     }
 }
 
-// --- recentThroughput decay (Swarm over-weighting fix) ---------------
-
-TEST_F(ChurnFixture, RecentThroughputDecaysForQuietNodes)
-{
-    scheduler::HelixScheduler sched(*topo);
-    sim::SimConfig config;
-    config.warmupSeconds = 2.0;
-    config.measureSeconds = 60.0;
-    config.churnEvents = {{sim::ChurnEvent::Kind::Fail, 1, 10.0}};
-    sim::ClusterSimulator sim(clusterSpec, *profiler, placement,
-                              sched, config);
-    auto metrics = sim.run(makeRequests(500, 10.0));
-
-    // Node 1 processed work before failing, then went silent for
-    // ~50 simulated seconds. A never-decaying EWMA would still report
-    // its busy-period rate; the decayed estimate must be a tiny
-    // fraction of the surviving replica's.
-    ASSERT_GT(metrics.nodeStats[1].tokensProcessed, 0);
-    double dead_rate = sim.recentThroughput(1);
-    double live_rate = sim.recentThroughput(3);
-    ASSERT_GT(live_rate, 0.0);
-    EXPECT_LT(dead_rate, 0.05 * live_rate);
-}
-
-// --- Spec engine: end-to-end schedule + thread invariance ------------
+// --- Incremental repair vs the cold path -----------------------------
 
 void
 expectMetricsIdentical(const sim::SimMetrics &a,
@@ -509,6 +485,187 @@ expectMetricsIdentical(const sim::SimMetrics &a,
         EXPECT_EQ(a.flowEvents[i].flow, b.flowEvents[i].flow);
     }
 }
+
+/** Replace every occurrence of @p from in @p text with @p to. */
+std::string
+replaceAll(std::string text, const std::string &from,
+           const std::string &to)
+{
+    size_t pos = 0;
+    while ((pos = text.find(from, pos)) != std::string::npos) {
+        text.replace(pos, from.size(), to);
+        pos += to.size();
+    }
+    return text;
+}
+
+/**
+ * Repair-enabled churn must be observationally identical to the cold
+ * path. On a two-node chain whose links are the bottleneck the max
+ * flow is unique and every arc saturates exactly (capacity minus
+ * capacity), so not just the flow values but the entire SimMetrics —
+ * and the CSV/JSON emitter bytes, once the resolve-kind tag is
+ * normalized — must match bit for bit.
+ */
+TEST(ChurnRepair, RepairRunMatchesColdRunByteForByte)
+{
+    ClusterSpec chain_cluster;
+    for (int i = 0; i < 2; ++i) {
+        NodeSpec node;
+        node.name = "t4-" + std::to_string(i);
+        node.gpu = cluster::gpus::t4();
+        chain_cluster.addNode(std::move(node));
+    }
+    // 10 Mbps links: the network, not the GPUs, caps the flow, so
+    // every link arc saturates and the assignment is unique.
+    chain_cluster.setUniformLinks(10e6, 1e-3);
+    model::TransformerSpec toy = model::catalog::llama30b();
+    toy.numLayers = 12;
+    Profiler profiler(toy);
+    placement::ModelPlacement chain;
+    chain.nodes = {{0, 6}, {6, 6}};
+    placement::PlacementGraph graph(chain_cluster, profiler, chain);
+    scheduler::Topology topo(chain_cluster, profiler, chain, graph);
+
+    trace::LengthModel lengths;
+    lengths.targetMeanPrompt = 120;
+    lengths.maxPromptLen = 512;
+    lengths.targetMeanOutput = 40;
+    lengths.maxOutputLen = 128;
+    trace::TraceGenerator gen(3, lengths);
+    trace::PoissonArrivals arrivals(1.5);
+    auto requests = gen.generateCount(150, arrivals);
+
+    sim::SimConfig config;
+    config.warmupSeconds = 2.0;
+    config.measureSeconds = 60.0;
+    config.churnEvents = {
+        {sim::ChurnEvent::Kind::Fail, 1, 5.0},
+        {sim::ChurnEvent::Kind::Recover, 1, 20.0},
+    };
+
+    auto run_once = [&](bool repair_mode) {
+        sim::SimConfig local = config;
+        local.repairTopology = repair_mode;
+        scheduler::HelixScheduler sched(topo);
+        sim::ClusterSimulator sim(chain_cluster, profiler, chain,
+                                  sched, local);
+        return sim.run(requests);
+    };
+    auto cold = run_once(false);
+    auto repaired = run_once(true);
+
+    expectMetricsIdentical(cold, repaired);
+    // Both runs applied the schedule; only the resolve kind differs.
+    ASSERT_EQ(cold.flowEvents.size(), 2u);
+    for (const auto &event : cold.flowEvents)
+        EXPECT_EQ(event.resolveKind, sim::ResolveKind::Cold);
+    for (const auto &event : repaired.flowEvents)
+        EXPECT_EQ(event.resolveKind, sim::ResolveKind::Repair);
+
+    // The emitted bytes agree exactly once the /repair tag is
+    // normalized away (and only via that tag do they differ at all).
+    auto to_result = [](const sim::SimMetrics &metrics) {
+        exp::JobResult r;
+        r.label = "chain";
+        r.cluster = "c";
+        r.model = "m";
+        r.planner = "p";
+        r.scheduler = "helix";
+        r.arrivals = "poisson";
+        r.metrics = metrics;
+        return r;
+    };
+    std::string cold_csv = exp::resultsToCsv({to_result(cold)});
+    std::string repair_csv =
+        exp::resultsToCsv({to_result(repaired)});
+    EXPECT_NE(cold_csv, repair_csv);
+    EXPECT_NE(repair_csv.find("/repair"), std::string::npos);
+    EXPECT_EQ(cold_csv, replaceAll(repair_csv, "/repair", "/cold"));
+    std::string cold_json = exp::resultsToJson({to_result(cold)});
+    std::string repair_json =
+        exp::resultsToJson({to_result(repaired)});
+    EXPECT_EQ(cold_json,
+              replaceAll(repair_json, "\"resolve\": \"repair\"",
+                         "\"resolve\": \"cold\""));
+}
+
+/**
+ * Drift-triggered re-solve: a straggler running below its profiled
+ * rate (thermal throttling modeled by nodeSlowdown) loses routing
+ * weight. Pipeline (0,1) is slowed through node 0; after the drift
+ * re-solve the coordinator flow toward node 0 shrinks and pipeline
+ * (2,3) absorbs the displaced traffic.
+ */
+TEST_F(ChurnFixture, DriftReSolveShiftsRoutingAwayFromStraggler)
+{
+    auto requests = makeRequests(3000, 60.0, 23);
+
+    auto run_once = [&](double drift_threshold) {
+        sim::SimConfig config;
+        config.warmupSeconds = 2.0;
+        config.measureSeconds = 60.0;
+        config.repairTopology = true;
+        config.driftThreshold = drift_threshold;
+        // Node 0 secretly runs 2.5x slower than profiled.
+        config.nodeSlowdown = {2.5, 1.0, 1.0, 1.0};
+        scheduler::HelixScheduler sched(*topo);
+        sim::ClusterSimulator sim(clusterSpec, *profiler, placement,
+                                  sched, config);
+        auto metrics = sim.run(requests);
+        return std::make_pair(metrics,
+                              coordFlow(sched.topology(), 0));
+    };
+
+    auto [baseline, baseline_flow0] = run_once(0.0);
+    auto [drifted, drifted_flow0] = run_once(0.25);
+
+    // Without the trigger nothing is logged and the planned weights
+    // stay stale.
+    EXPECT_TRUE(baseline.flowEvents.empty());
+    EXPECT_DOUBLE_EQ(baseline_flow0, coordFlow(*topo, 0));
+
+    // The trigger fired on the straggler — and only the straggler.
+    ASSERT_GE(drifted.flowEvents.size(), 1u);
+    for (const auto &event : drifted.flowEvents) {
+        EXPECT_EQ(event.kind, sim::ChurnEvent::Kind::Drift);
+        EXPECT_EQ(event.resolveKind, sim::ResolveKind::Drift);
+        EXPECT_EQ(event.node, 0);
+        EXPECT_LT(event.flow, topo->maxFlow());
+    }
+
+    // Routing shifted away: node 0's coordinator flow shrank and the
+    // healthy replica processed more work than under stale weights.
+    EXPECT_LT(drifted_flow0, 0.8 * baseline_flow0);
+    EXPECT_GT(drifted.nodeStats[2].tokensProcessed,
+              baseline.nodeStats[2].tokensProcessed);
+}
+
+// --- recentThroughput decay (Swarm over-weighting fix) ---------------
+
+TEST_F(ChurnFixture, RecentThroughputDecaysForQuietNodes)
+{
+    scheduler::HelixScheduler sched(*topo);
+    sim::SimConfig config;
+    config.warmupSeconds = 2.0;
+    config.measureSeconds = 60.0;
+    config.churnEvents = {{sim::ChurnEvent::Kind::Fail, 1, 10.0}};
+    sim::ClusterSimulator sim(clusterSpec, *profiler, placement,
+                              sched, config);
+    auto metrics = sim.run(makeRequests(500, 10.0));
+
+    // Node 1 processed work before failing, then went silent for
+    // ~50 simulated seconds. A never-decaying EWMA would still report
+    // its busy-period rate; the decayed estimate must be a tiny
+    // fraction of the surviving replica's.
+    ASSERT_GT(metrics.nodeStats[1].tokensProcessed, 0);
+    double dead_rate = sim.recentThroughput(1);
+    double live_rate = sim.recentThroughput(3);
+    ASSERT_GT(live_rate, 0.0);
+    EXPECT_LT(dead_rate, 0.05 * live_rate);
+}
+
+// --- Spec engine: end-to-end schedule + thread invariance ------------
 
 TEST(ChurnSpec, ScheduleRunsIdenticallyAcrossThreadCounts)
 {
@@ -543,6 +700,60 @@ TEST(ChurnSpec, ScheduleRunsIdenticallyAcrossThreadCounts)
                                    reference->at(i).metrics);
         }
     }
+}
+
+TEST(ChurnSpec, RepairScheduleRunsIdenticallyAcrossThreadCounts)
+{
+    auto spec = io::experimentFromString(
+        "experiment v1\n"
+        "warmup 1\nmeasure 4\nplanner-budget 0.05\n"
+        "cluster planner10\nmodel llama30b\n"
+        "system a swarm helix\n"
+        "scenario churn online=0 repair=1 fail=0@0.3 recover=0@0.6\n");
+    ASSERT_TRUE(spec.has_value());
+    io::ParseError error;
+    ASSERT_TRUE(exp::validateSpec(*spec, &error)) << error.str();
+
+    std::optional<std::vector<exp::JobResult>> reference;
+    for (int threads : {1, 4, 16}) {
+        exp::RunnerOptions options;
+        options.numThreads = threads;
+        auto results = exp::runSpec(*spec, &error, options);
+        ASSERT_TRUE(results.has_value()) << error.str();
+        ASSERT_EQ(results->size(), 1u);
+        // The schedule applied, by incremental repair.
+        ASSERT_EQ(results->front().metrics.flowEvents.size(), 2u);
+        for (const auto &event : results->front().metrics.flowEvents)
+            EXPECT_EQ(event.resolveKind, sim::ResolveKind::Repair);
+        EXPECT_NE(exp::resultsToCsv(*results).find("/repair"),
+                  std::string::npos);
+        if (!reference) {
+            reference = std::move(results);
+            continue;
+        }
+        expectMetricsIdentical(results->front().metrics,
+                               reference->front().metrics);
+    }
+}
+
+TEST(ChurnSpec, RejectsInvalidRepairAndDriftOptions)
+{
+    io::ParseError error;
+    auto bad_repair = io::experimentFromString(
+        "experiment v1\ncluster planner10\nmodel llama30b\n"
+        "system a swarm helix\n"
+        "scenario churn repair=2 fail=0@0.3\n");
+    ASSERT_TRUE(bad_repair.has_value());
+    EXPECT_FALSE(exp::validateSpec(*bad_repair, &error));
+    EXPECT_NE(error.message.find("repair"), std::string::npos);
+
+    auto bad_drift = io::experimentFromString(
+        "experiment v1\ncluster planner10\nmodel llama30b\n"
+        "system a swarm helix\n"
+        "scenario churn drift=1.5 fail=0@0.3\n");
+    ASSERT_TRUE(bad_drift.has_value());
+    EXPECT_FALSE(exp::validateSpec(*bad_drift, &error));
+    EXPECT_NE(error.message.find("drift"), std::string::npos);
 }
 
 TEST(ChurnSpec, ShippedChurnExampleMatchesDocAndRuns)

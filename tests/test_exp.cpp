@@ -292,7 +292,8 @@ TEST(Emitters, JsonAndCsvCarryEveryRow)
  * events and zero-sample latency accumulators: empty samples emit
  * empty CSV fields / JSON nulls (a silent 0.0 is indistinguishable
  * from a real zero-latency measurement), and the churn log carries
- * each event's re-solved flow.
+ * each event's re-solved flow plus how it was re-solved
+ * (cold | repair | drift).
  */
 TEST(Emitters, ZeroSampleStatsAndChurnEventsPinned)
 {
@@ -304,9 +305,14 @@ TEST(Emitters, ZeroSampleStatsAndChurnEventsPinned)
     r.scheduler = "s";
     r.arrivals = "poisson";
     r.metrics.flowEvents.push_back(
-        {12.5, 1, sim::ChurnEvent::Kind::Fail, 1000.0});
+        {12.5, 1, sim::ChurnEvent::Kind::Fail, 1000.0,
+         sim::ResolveKind::Cold});
     r.metrics.flowEvents.push_back(
-        {30.0, 1, sim::ChurnEvent::Kind::Recover, 2000.0});
+        {30.0, 1, sim::ChurnEvent::Kind::Recover, 2000.0,
+         sim::ResolveKind::Repair});
+    r.metrics.flowEvents.push_back(
+        {45.0, 2, sim::ChurnEvent::Kind::Drift, 1500.0,
+         sim::ResolveKind::Drift});
 
     EXPECT_EQ(
         resultsToCsv({r}),
@@ -318,7 +324,8 @@ TEST(Emitters, ZeroSampleStatsAndChurnEventsPinned)
         "requests_admitted,requests_completed,requests_rejected,"
         "requests_restarted,avg_kv_utilization,wall_seconds\n"
         "\"empty\",\"c\",\"m\",\"p\",\"s\",\"poisson\","
-        "\"fail:1@12.5=1000;recover:1@30=2000\","
+        "\"fail:1@12.5=1000/cold;recover:1@30=2000/repair;"
+        "drift:2@45=1500/drift\","
         "0,0,0,,,,,,,,,0,0,0,0,0,0,0\n");
 
     EXPECT_EQ(
@@ -328,9 +335,11 @@ TEST(Emitters, ZeroSampleStatsAndChurnEventsPinned)
         "\"model\": \"m\", \"planner\": \"p\", \"scheduler\": \"s\", "
         "\"arrivals\": \"poisson\", \"churn_events\": "
         "[{\"kind\": \"fail\", \"node\": 1, \"time\": 12.5, "
-        "\"flow\": 1000}, "
+        "\"flow\": 1000, \"resolve\": \"cold\"}, "
         "{\"kind\": \"recover\", \"node\": 1, \"time\": 30, "
-        "\"flow\": 2000}], "
+        "\"flow\": 2000, \"resolve\": \"repair\"}, "
+        "{\"kind\": \"drift\", \"node\": 2, \"time\": 45, "
+        "\"flow\": 1500, \"resolve\": \"drift\"}], "
         "\"planned_throughput\": 0, \"decode_throughput\": 0, "
         "\"prompt_throughput\": 0, \"prompt_latency_mean\": null, "
         "\"prompt_latency_p50\": null, \"prompt_latency_p95\": null, "

@@ -373,6 +373,126 @@ TEST(FlowDecomposition, EmptyOnZeroFlow)
     EXPECT_TRUE(paths.empty());
 }
 
+/**
+ * A diamond with a cross edge: s -> {a, b} -> t plus a -> b. Max flow
+ * 6 routes 2 via a->t, 1 via a->b, 3 direct through b. Shrinking or
+ * severing either branch forces repair to cancel and reroute.
+ */
+FlowGraph
+diamondGraph()
+{
+    FlowGraph g;
+    g.addNode("s"); // 0
+    g.addNode("t"); // 1
+    g.addNode("a"); // 2
+    g.addNode("b"); // 3
+    g.addEdge(0, 2, 3.0); // edge 0: s->a
+    g.addEdge(0, 3, 3.0); // edge 2: s->b
+    g.addEdge(2, 3, 1.0); // edge 4: a->b
+    g.addEdge(2, 1, 2.0); // edge 6: a->t
+    g.addEdge(3, 1, 4.0); // edge 8: b->t
+    return g;
+}
+
+TEST(FlowRepair, FailThenRecoverRestoresOriginalValue)
+{
+    FlowGraph g = diamondGraph();
+    PreflowPush solver(g);
+    double original = solver.solve(0, 1);
+    EXPECT_NEAR(original, 6.0, 1e-9);
+
+    // Fail branch a: both of its arcs drop to zero capacity.
+    g.setEdgeCapacity(0, 0.0);
+    double degraded = solver.repair(0, 1);
+    EXPECT_NEAR(degraded, 3.0, 1e-9);
+    EXPECT_NEAR(g.flowOn(0), 0.0, 1e-9);
+
+    // Recover: restoring the capacity restores the original value.
+    g.setEdgeCapacity(0, 3.0);
+    EXPECT_NEAR(solver.repair(0, 1), original, 1e-9);
+}
+
+TEST(FlowRepair, ZeroFlowEdgeChangeIsANoOp)
+{
+    FlowGraph g = diamondGraph();
+    PreflowPush solver(g);
+    double value = solver.solve(0, 1);
+
+    // a->b carries at most 1.0; capacity above the bottleneck can
+    // change freely without touching the committed assignment.
+    std::vector<double> flows;
+    for (size_t e = 0; e < g.numEdges() * 2; e += 2)
+        flows.push_back(g.flowOn(static_cast<EdgeId>(e)));
+    double slack_flow = g.flowOn(4);
+    g.setEdgeCapacity(4, std::max(2.0, slack_flow + 1.0));
+    EXPECT_NEAR(solver.repair(0, 1), value, 1e-9);
+
+    // Shrinking an edge down to exactly its current flow is also a
+    // no-op: nothing is over-committed, nothing new is augmentable.
+    g.setEdgeCapacity(4, slack_flow);
+    EXPECT_NEAR(solver.repair(0, 1), value, 1e-9);
+    for (size_t e = 0; e < g.numEdges() * 2; e += 2) {
+        EXPECT_NEAR(g.flowOn(static_cast<EdgeId>(e)),
+                    flows[e / 2], 1e-9)
+            << "edge " << e;
+    }
+}
+
+TEST(FlowRepair, RepeatedRepairIsIdempotent)
+{
+    FlowGraph g = diamondGraph();
+    PreflowPush solver(g);
+    solver.solve(0, 1);
+    g.setEdgeCapacity(8, 1.5); // shrink b->t below its flow
+    double first = solver.repair(0, 1);
+
+    std::vector<double> flows;
+    for (size_t e = 0; e < g.numEdges() * 2; e += 2)
+        flows.push_back(g.flowOn(static_cast<EdgeId>(e)));
+
+    // No capacity changed since: repair must keep value AND flows.
+    double second = solver.repair(0, 1);
+    EXPECT_DOUBLE_EQ(second, first);
+    for (size_t e = 0; e < g.numEdges() * 2; e += 2) {
+        EXPECT_DOUBLE_EQ(g.flowOn(static_cast<EdgeId>(e)),
+                         flows[e / 2])
+            << "edge " << e;
+    }
+}
+
+TEST(FlowRepair, RepairWithoutPriorSolveIsAFullSolve)
+{
+    FlowGraph g = diamondGraph();
+    PreflowPush solver(g);
+    EXPECT_NEAR(solver.repair(0, 1), 6.0, 1e-9);
+}
+
+TEST(FlowRepair, EdgelessGraphRepairsToZero)
+{
+    FlowGraph g;
+    NodeId s = g.addNode();
+    NodeId t = g.addNode();
+    PreflowPush solver(g);
+    EXPECT_NEAR(solver.solve(s, t), 0.0, 1e-9);
+    EXPECT_NEAR(solver.repair(s, t), 0.0, 1e-9);
+}
+
+TEST(FlowRepair, SingleEdgeShrinkAndRestore)
+{
+    FlowGraph g;
+    NodeId s = g.addNode();
+    NodeId t = g.addNode();
+    EdgeId e = g.addEdge(s, t, 5.0);
+    PreflowPush solver(g);
+    EXPECT_NEAR(solver.solve(s, t), 5.0, 1e-9);
+    g.setEdgeCapacity(e, 2.0);
+    EXPECT_NEAR(solver.repair(s, t), 2.0, 1e-9);
+    g.setEdgeCapacity(e, 0.0);
+    EXPECT_NEAR(solver.repair(s, t), 0.0, 1e-9);
+    g.setEdgeCapacity(e, 5.0);
+    EXPECT_NEAR(solver.repair(s, t), 5.0, 1e-9);
+}
+
 TEST(MaxFlow, HandlesHugeCapacityMixedWithTiny)
 {
     // Regression for the scale-aware tolerance: coordinator-style

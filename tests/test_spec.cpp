@@ -731,6 +731,52 @@ TEST(DocFileFormats, ChurnExampleMatchesShippedSpec)
     EXPECT_EQ(io::experimentToString(*shipped), canonical);
 }
 
+TEST(DocFileFormats, ChurnDriftRepairExampleRoundTrips)
+{
+    // Byte-for-byte the worked repair + drift churn example in
+    // docs/FILE_FORMATS.md.
+    const std::string example =
+        "experiment v1\n"
+        "name churn-drift\n"
+        "output csv\n"
+        "seed 42\n"
+        "warmup 1\n"
+        "measure 6\n"
+        "planner-budget 0.05\n"
+        "cluster single24\n"
+        "model llama30b\n"
+        "system helix swarm helix\n"
+        "scenario churn drift=0.25 online=0 repair=1 "
+        "fail=4@0.33 recover=4@0.66\n";
+    io::ParseError error;
+    auto spec = io::experimentFromString(example, error);
+    ASSERT_TRUE(spec.has_value()) << error.str();
+    EXPECT_TRUE(exp::validateSpec(*spec, &error)) << error.str();
+    // Canonical re-serialization is stable (like the churn example
+    // above: %.17g widens 0.05, so the doc bytes themselves are not
+    // the canonical form).
+    std::string canonical = io::experimentToString(*spec);
+    auto reparsed = io::experimentFromString(canonical);
+    ASSERT_TRUE(reparsed.has_value());
+    EXPECT_EQ(io::experimentToString(*reparsed), canonical);
+
+    // The spec keys reach the run configuration: repair mode on,
+    // drift threshold 0.25, and the event schedule at fractions of
+    // the 1 + 6 second horizon.
+    ASSERT_EQ(spec->scenarios.size(), 1u);
+    RunConfig run =
+        exp::scenarioRunConfig(*spec, spec->scenarios[0], 0.0);
+    EXPECT_TRUE(run.repairTopology);
+    EXPECT_DOUBLE_EQ(run.driftThreshold, 0.25);
+    ASSERT_EQ(run.churnEvents.size(), 2u);
+    EXPECT_EQ(run.churnEvents[0].kind, sim::ChurnEvent::Kind::Fail);
+    EXPECT_EQ(run.churnEvents[0].node, 4);
+    EXPECT_DOUBLE_EQ(run.churnEvents[0].atSeconds, 0.33 * 7.0);
+    EXPECT_EQ(run.churnEvents[1].kind,
+              sim::ChurnEvent::Kind::Recover);
+    EXPECT_DOUBLE_EQ(run.churnEvents[1].atSeconds, 0.66 * 7.0);
+}
+
 TEST(SpecValidate, GeneratedClusterNamesResolveWithLineErrors)
 {
     // A well-formed generator name validates like any registry name.
