@@ -139,7 +139,7 @@ BM_FlowRepair(benchmark::State &state)
     FlapBench bench(static_cast<int>(state.range(0)));
     placement::PlacementGraph live(*bench.clus, bench.profiler,
                                    bench.placement);
-    live.maxThroughput();
+    (void)live.maxThroughput();
     bench.pickNode(live);
     bool down = false;
     for (auto _ : state) {

@@ -64,8 +64,8 @@ struct CostModelParams
 class Profiler
 {
   public:
-    Profiler(const model::TransformerSpec &model_spec,
-             CostModelParams params = {});
+    explicit Profiler(const model::TransformerSpec &model_spec,
+                      CostModelParams params = {});
 
     const model::TransformerSpec &modelSpec() const { return spec; }
     const CostModelParams &params() const { return cost; }

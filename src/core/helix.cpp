@@ -34,7 +34,7 @@ void
 Deployment::rebuildTopology()
 {
     placement::PlacementGraph graph(cluster, prof, plan);
-    graph.maxThroughput();
+    (void)graph.maxThroughput(); // prime flows before Topology copies
     topo = std::make_unique<scheduler::Topology>(cluster, prof, plan,
                                                  graph);
 }

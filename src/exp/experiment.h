@@ -71,8 +71,8 @@ struct Scenario
     double driftThreshold = 0.0;
 
     /** Materialize as a RunConfig at the given scale. */
-    RunConfig toRun(double warmup_s, double measure_s,
-                    uint64_t seed) const;
+    [[nodiscard]] RunConfig toRun(double warmup_s, double measure_s,
+                                  uint64_t seed) const;
 };
 
 /** The standard scenario catalog (see README "Scenario catalog"). */
@@ -149,7 +149,8 @@ class ExperimentRunner
     explicit ExperimentRunner(RunnerOptions options = {});
 
     /** Run every job; results align with the input order. */
-    std::vector<JobResult> run(const std::vector<Job> &jobs) const;
+    [[nodiscard]] std::vector<JobResult> run(
+        const std::vector<Job> &jobs) const;
 
     /**
      * Run arbitrary tasks on the pool; each task runs exactly once,
@@ -189,12 +190,12 @@ struct SweepConfig
 };
 
 /** Expand and execute a sweep. */
-std::vector<JobResult> runSweep(const SweepConfig &sweep,
+[[nodiscard]] std::vector<JobResult> runSweep(const SweepConfig &sweep,
                                 RunnerOptions options = {});
 
 /** Structured emitters for downstream analysis/plotting. */
-std::string resultsToJson(const std::vector<JobResult> &results);
-std::string resultsToCsv(const std::vector<JobResult> &results);
+[[nodiscard]] std::string resultsToJson(const std::vector<JobResult> &results);
+[[nodiscard]] std::string resultsToCsv(const std::vector<JobResult> &results);
 
 // --- Registries (declarative configs name their parts) -------------
 
@@ -203,7 +204,7 @@ std::string resultsToCsv(const std::vector<JobResult> &results);
  * clusters named "gen:<preset>:<nodes>[:<seed>]" (seed defaults to
  * 42) — e.g. "gen:two-tier:300:7". Presets: cluster::gen::presetNames.
  */
-std::optional<cluster::ClusterSpec> clusterByName(
+[[nodiscard]] std::optional<cluster::ClusterSpec> clusterByName(
     const std::string &name);
 
 /**
@@ -212,10 +213,10 @@ std::optional<cluster::ClusterSpec> clusterByName(
  * O(nodes^2) link matrix, so validation of e.g. "gen:...:1000:7"
  * stays O(1). Nullopt exactly when clusterByName would fail.
  */
-std::optional<int> clusterNodeCountByName(const std::string &name);
+[[nodiscard]] std::optional<int> clusterNodeCountByName(const std::string &name);
 
 /** "llama30b", "llama70b", "gpt3-175b", "grok1-314b", "llama3-405b". */
-std::optional<model::TransformerSpec> modelByName(
+[[nodiscard]] std::optional<model::TransformerSpec> modelByName(
     const std::string &name);
 
 /**
@@ -233,12 +234,12 @@ std::optional<model::TransformerSpec> modelByName(
  *        land here.
  * @return a fresh planner instance, or nullptr for unknown names.
  */
-std::unique_ptr<placement::Planner> plannerByName(
+[[nodiscard]] std::unique_ptr<placement::Planner> plannerByName(
     const std::string &name, double planner_budget_s,
     int portfolio_threads = 0);
 
 /** Scheduler kind from its toString name. */
-std::optional<SchedulerKind> schedulerKindByName(
+[[nodiscard]] std::optional<SchedulerKind> schedulerKindByName(
     const std::string &name);
 
 /**
@@ -246,10 +247,10 @@ std::optional<SchedulerKind> schedulerKindByName(
  * Every returned name resolves through the matching *ByName lookup;
  * tests/test_spec.cpp pins that invariant.
  */
-const std::vector<std::string> &clusterNames();
-const std::vector<std::string> &modelNames();
-const std::vector<std::string> &plannerNames();
-const std::vector<std::string> &schedulerNames();
+[[nodiscard]] const std::vector<std::string> &clusterNames();
+[[nodiscard]] const std::vector<std::string> &modelNames();
+[[nodiscard]] const std::vector<std::string> &plannerNames();
+[[nodiscard]] const std::vector<std::string> &schedulerNames();
 
 } // namespace exp
 } // namespace helix

@@ -127,6 +127,7 @@ validateSpec(const io::ExperimentSpec &spec, io::ParseError *error)
             continue;
         if (scenario.has("node")) {
             double node_value = scenario.get("node", -1.0);
+            // helix-lint: allow(float-eq) exact integrality test on a parsed value; floor() is bit-exact for in-range indices
             if (node_value != std::floor(node_value)) {
                 setError(error, scenario.line,
                          "churn node=" + std::to_string(node_value) +
@@ -152,6 +153,7 @@ validateSpec(const io::ExperimentSpec &spec, io::ParseError *error)
             }
         }
         double repair = scenario.get("repair", 0.0);
+        // helix-lint: allow(float-eq) repair= is an exact 0/1 flag parsed from text; any other bit pattern is a spec error
         if (repair != 0.0 && repair != 1.0) {
             setError(error, scenario.line,
                      "churn repair=" + std::to_string(repair) +

@@ -43,7 +43,7 @@ namespace exp {
  * cluster). On failure returns false and fills @p error with the
  * offending spec line. Does not plan or simulate anything.
  */
-bool validateSpec(const io::ExperimentSpec &spec,
+[[nodiscard]] bool validateSpec(const io::ExperimentSpec &spec,
                   io::ParseError *error = nullptr);
 
 /**
@@ -54,7 +54,7 @@ bool validateSpec(const io::ExperimentSpec &spec,
  *
  * @p options.numThreads > 0 overrides the spec's `threads` directive.
  */
-std::optional<std::vector<JobResult>> runSpec(
+[[nodiscard]] std::optional<std::vector<JobResult>> runSpec(
     const io::ExperimentSpec &spec, io::ParseError *error = nullptr,
     RunnerOptions options = {});
 
@@ -65,7 +65,7 @@ std::optional<std::vector<JobResult>> runSpec(
  * every other kind). Exposed for tests; runSpec uses this exact
  * function.
  */
-RunConfig scenarioRunConfig(const io::ExperimentSpec &spec,
+[[nodiscard]] RunConfig scenarioRunConfig(const io::ExperimentSpec &spec,
                             const io::ScenarioSpec &scenario,
                             double offline_peak);
 

@@ -59,10 +59,10 @@ class FlowGraph
     NodeId addNode(std::string label = "");
 
     /** Number of vertices. */
-    size_t numNodes() const { return adjacency.size(); }
+    [[nodiscard]] size_t numNodes() const { return adjacency.size(); }
 
     /** Number of user-added (forward) edges. */
-    size_t numEdges() const { return edges.size() / 2; }
+    [[nodiscard]] size_t numEdges() const { return edges.size() / 2; }
 
     /**
      * Add a directed edge with the given capacity. A residual twin with
@@ -72,20 +72,20 @@ class FlowGraph
     EdgeId addEdge(NodeId from, NodeId to, double capacity);
 
     /** Access an edge (forward or residual) by id. */
-    const Edge &edge(EdgeId id) const { return edges[id]; }
+    [[nodiscard]] const Edge &edge(EdgeId id) const { return edges[id]; }
     Edge &edge(EdgeId id) { return edges[id]; }
 
     /** Ids of all edges (forward and residual) leaving @p node. */
-    const std::vector<EdgeId> &outEdges(NodeId node) const;
+    [[nodiscard]] const std::vector<EdgeId> &outEdges(NodeId node) const;
 
     /** Human-readable label attached to @p node. */
-    const std::string &nodeLabel(NodeId node) const;
+    [[nodiscard]] const std::string &nodeLabel(NodeId node) const;
 
     /**
      * Flow currently on a forward edge, i.e. how much of its original
      * capacity has been consumed: original - residual.
      */
-    double flowOn(EdgeId forward_edge) const;
+    [[nodiscard]] double flowOn(EdgeId forward_edge) const;
 
     /** Restore every edge's residual capacity to its original value. */
     void resetFlow();
@@ -100,7 +100,7 @@ class FlowGraph
     void setEdgeCapacity(EdgeId forward_edge, double capacity);
 
     /** Total capacity leaving @p node over forward edges. */
-    double outCapacity(NodeId node) const;
+    [[nodiscard]] double outCapacity(NodeId node) const;
 
     /**
      * Net flow leaving @p node: flow on forward out-edges minus flow
@@ -108,7 +108,7 @@ class FlowGraph
      * solve() and repair() report it through this one accumulation so
      * the two paths agree bit-for-bit.
      */
-    double netOutflow(NodeId node) const;
+    [[nodiscard]] double netOutflow(NodeId node) const;
 
     /**
      * Largest forward-edge capacity ever configured (via addEdge or
@@ -117,7 +117,7 @@ class FlowGraph
      * marginally loose tolerance after a capacity shrink only affects
      * which sub-noise flows get snapped to zero.
      */
-    double capacityScale() const { return capScale; }
+    [[nodiscard]] double capacityScale() const { return capScale; }
 
     /**
      * Forward edges edited by setEdgeCapacity since the last solver

@@ -487,6 +487,7 @@ PreflowPush::repair(NodeId source, NodeId sink)
     for (EdgeId id : touched) {
         Edge &e = graph.edge(id);
         double f = graph.flowOn(id);
+        // helix-lint: allow(float-eq) exact-zero sentinel: only non-zero sub-tolerance noise gets snapped
         if (f != 0.0 && f < tol) {
             e.capacity = e.originalCapacity;
             graph.edge(id ^ 1).capacity = 0.0;

@@ -38,7 +38,7 @@ class PreflowPush
      * @return the max-flow value in capacity units (tokens/second for
      *         Helix placement graphs).
      */
-    double solve(NodeId source, NodeId sink);
+    [[nodiscard]] double solve(NodeId source, NodeId sink);
 
     /**
      * Warm-start incremental repair after capacity updates
@@ -58,7 +58,7 @@ class PreflowPush
      *
      * @return the max-flow value for the current capacities.
      */
-    double repair(NodeId source, NodeId sink);
+    [[nodiscard]] double repair(NodeId source, NodeId sink);
 
   private:
     /** Push as much excess as possible across @p edge_id. */
@@ -149,7 +149,7 @@ class Dinic
     explicit Dinic(FlowGraph &graph);
 
     /** Compute the maximum flow from @p source to @p sink. */
-    double solve(NodeId source, NodeId sink);
+    [[nodiscard]] double solve(NodeId source, NodeId sink);
 
   private:
     bool buildLevels(NodeId source, NodeId sink);
@@ -165,7 +165,7 @@ class Dinic
  * computed on @p graph (vertices reachable from @p source in the
  * residual network).
  */
-std::vector<bool> minCutSourceSide(const FlowGraph &graph, NodeId source);
+[[nodiscard]] std::vector<bool> minCutSourceSide(const FlowGraph &graph, NodeId source);
 
 /** A single source→sink path carrying @p amount units of flow. */
 struct FlowPath
@@ -178,7 +178,7 @@ struct FlowPath
  * Decompose the flow recorded on @p graph (after solving) into at most
  * |E| simple source→sink paths. The graph is not modified.
  */
-std::vector<FlowPath> decomposeFlow(const FlowGraph &graph, NodeId source,
+[[nodiscard]] std::vector<FlowPath> decomposeFlow(const FlowGraph &graph, NodeId source,
                                     NodeId sink);
 
 } // namespace flow

@@ -49,48 +49,48 @@ struct ParseError
     std::string message;
 
     /** "line N: message" (or just the message when line == 0). */
-    std::string str() const;
+    [[nodiscard]] std::string str() const;
 };
 
 /** Serialize a cluster (nodes + full link matrix). */
-std::string clusterToString(const cluster::ClusterSpec &cluster);
+[[nodiscard]] std::string clusterToString(const cluster::ClusterSpec &cluster);
 
 /** Parse a cluster; on failure returns nullopt and fills @p error. */
-std::optional<cluster::ClusterSpec> clusterFromString(
+[[nodiscard]] std::optional<cluster::ClusterSpec> clusterFromString(
     const std::string &text, ParseError &error);
 
 /** Parse a cluster; nullopt on malformed input. */
-std::optional<cluster::ClusterSpec> clusterFromString(
+[[nodiscard]] std::optional<cluster::ClusterSpec> clusterFromString(
     const std::string &text);
 
 /** Serialize a model placement. */
-std::string placementToString(
+[[nodiscard]] std::string placementToString(
     const placement::ModelPlacement &placement);
 
 /** Parse a placement; on failure returns nullopt and fills @p error. */
-std::optional<placement::ModelPlacement> placementFromString(
+[[nodiscard]] std::optional<placement::ModelPlacement> placementFromString(
     const std::string &text, ParseError &error);
 
 /** Parse a model placement; nullopt on malformed input. */
-std::optional<placement::ModelPlacement> placementFromString(
+[[nodiscard]] std::optional<placement::ModelPlacement> placementFromString(
     const std::string &text);
 
 /** Serialize a request trace. */
-std::string traceToString(const std::vector<trace::Request> &requests);
+[[nodiscard]] std::string traceToString(const std::vector<trace::Request> &requests);
 
 /** Parse a trace; on failure returns nullopt and fills @p error. */
-std::optional<std::vector<trace::Request>> traceFromString(
+[[nodiscard]] std::optional<std::vector<trace::Request>> traceFromString(
     const std::string &text, ParseError &error);
 
 /** Parse a request trace; nullopt on malformed input. */
-std::optional<std::vector<trace::Request>> traceFromString(
+[[nodiscard]] std::optional<std::vector<trace::Request>> traceFromString(
     const std::string &text);
 
 /** Write @p text to @p path. @return false on I/O error. */
-bool writeFile(const std::string &path, const std::string &text);
+[[nodiscard]] bool writeFile(const std::string &path, const std::string &text);
 
 /** Read the whole file at @p path; nullopt on I/O error. */
-std::optional<std::string> readFile(const std::string &path);
+[[nodiscard]] std::optional<std::string> readFile(const std::string &path);
 
 // --- Line-oriented parsing substrate (shared with spec.h) ----------
 
@@ -108,10 +108,10 @@ class LineReader
     bool next();
 
     /** Tokens of the current line. */
-    const std::vector<std::string> &tokens() const { return toks; }
+    [[nodiscard]] const std::vector<std::string> &tokens() const { return toks; }
 
     /** 1-based number of the current line in the source text. */
-    int line() const { return lineNo; }
+    [[nodiscard]] int line() const { return lineNo; }
 
   private:
     std::vector<std::pair<int, std::vector<std::string>>> lines;
@@ -123,21 +123,21 @@ class LineReader
 /** Parse helpers: return false without touching @p out on failure.
  *  parseDouble rejects inf/nan — every quantity in these formats is
  *  finite. */
-bool parseInt(const std::string &token, int &out);
-bool parseLong(const std::string &token, long &out);
-bool parseU64(const std::string &token, uint64_t &out);
-bool parseDouble(const std::string &token, double &out);
+[[nodiscard]] bool parseInt(const std::string &token, int &out);
+[[nodiscard]] bool parseLong(const std::string &token, long &out);
+[[nodiscard]] bool parseU64(const std::string &token, uint64_t &out);
+[[nodiscard]] bool parseDouble(const std::string &token, double &out);
 
 /**
  * Check a "<format> v1 [<count>]" header line (@p extra = number of
  * tokens after the version). Reads one line from @p reader; on
  * failure fills @p error and returns false.
  */
-bool checkHeader(LineReader &reader, const char *format, size_t extra,
+[[nodiscard]] bool checkHeader(LineReader &reader, const char *format, size_t extra,
                  ParseError &error);
 
 /** "a, b, c" — for known-names lists in error messages. */
-std::string joinNames(const std::vector<std::string> &names);
+[[nodiscard]] std::string joinNames(const std::vector<std::string> &names);
 
 } // namespace io
 } // namespace helix

@@ -84,8 +84,10 @@ struct ChurnEventSpec
 
     bool operator==(const ChurnEventSpec &other) const
     {
-        return fail == other.fail && node == other.node &&
-               atFraction == other.atFraction;
+        if (fail != other.fail || node != other.node)
+            return false;
+        // helix-lint: allow(float-eq) structural equality of parsed specs: identical text must parse bit-identically
+        return atFraction == other.atFraction;
     }
 };
 
@@ -100,8 +102,8 @@ struct ScenarioSpec
     std::vector<ChurnEventSpec> events;
     int line = 0;
 
-    bool has(const std::string &key) const;
-    double get(const std::string &key, double fallback) const;
+    [[nodiscard]] bool has(const std::string &key) const;
+    [[nodiscard]] double get(const std::string &key, double fallback) const;
 };
 
 /** A parsed `experiment v1` file. */
@@ -130,7 +132,7 @@ struct ExperimentSpec
 };
 
 /** Serialize a spec (comments are not preserved). */
-std::string experimentToString(const ExperimentSpec &spec);
+[[nodiscard]] std::string experimentToString(const ExperimentSpec &spec);
 
 /**
  * Parse an `experiment v1` file. Grammar-level validation only (the
@@ -139,18 +141,18 @@ std::string experimentToString(const ExperimentSpec &spec);
  * of clusters/models/scenarios and a planner source). Registry names
  * are not resolved here; see exp::validateSpec.
  */
-std::optional<ExperimentSpec> experimentFromString(
+[[nodiscard]] std::optional<ExperimentSpec> experimentFromString(
     const std::string &text, ParseError &error);
 
 /** As above, discarding the error detail. */
-std::optional<ExperimentSpec> experimentFromString(
+[[nodiscard]] std::optional<ExperimentSpec> experimentFromString(
     const std::string &text);
 
 /** The scenario kinds the format accepts (see docs/SCENARIOS.md). */
-const std::vector<std::string> &scenarioKinds();
+[[nodiscard]] const std::vector<std::string> &scenarioKinds();
 
 /** Option keys accepted by @p kind (common keys included). */
-std::vector<std::string> scenarioOptionKeys(const std::string &kind);
+[[nodiscard]] std::vector<std::string> scenarioOptionKeys(const std::string &kind);
 
 } // namespace io
 } // namespace helix

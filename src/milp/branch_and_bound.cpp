@@ -123,6 +123,7 @@ struct NodeCompare
     {
         // Best-first: larger bound first; deeper first on ties to
         // reach incumbents quickly.
+        // helix-lint: allow(float-eq) exact comparator tie-break keeps the search order deterministic
         if (a.bound != b.bound)
             return a.bound < b.bound;
         return a.depth < b.depth;

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "placement/milp_formulation.h"
 #include "util/logging.h"
 
 namespace helix {
@@ -157,8 +158,8 @@ FlowSearch::run(const std::vector<ModelPlacement> &seeds,
         for (int i = 0; i < n; ++i) {
             int k = std::max(
                 1, profilerRef.maxLayers(clusterRef.node(i)));
-            int start = std::min(at % num_layers, num_layers - k);
-            cold[i] = {std::max(start, 0), std::min(k, num_layers)};
+            int first = std::min(at % num_layers, num_layers - k);
+            cold[i] = {std::max(first, 0), std::min(k, num_layers)};
             at += k;
         }
         consider(cold);

@@ -29,7 +29,8 @@
 #include <optional>
 #include <vector>
 
-#include "placement/milp_formulation.h"
+#include "milp/branch_and_bound.h"
+#include "placement/placement_graph.h"
 #include "placement/planners.h"
 #include "util/random.h"
 

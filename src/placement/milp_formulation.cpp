@@ -263,7 +263,7 @@ MilpFormulation::encodePlacement(const ModelPlacement &placement) const
     graph_opts.allowPartialInference = opts.allowPartialInference;
     graph_opts.filter = opts.filter;
     PlacementGraph graph(clusterRef, profilerRef, placement, graph_opts);
-    graph.maxThroughput();
+    (void)graph.maxThroughput(); // prime per-edge flows for the warm start
 
     std::vector<double> values(milpProblem.numVariables(), 0.0);
     for (int i = 0; i < n; ++i) {

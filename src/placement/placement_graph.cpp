@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "flow/max_flow.h"
 #include "util/logging.h"
 
 namespace helix {
@@ -163,7 +164,8 @@ PlacementGraph::maxThroughput()
 {
     if (!cachedFlow) {
         flow::PreflowPush solver(net);
-        solver.solve(src, dst);
+        // Value is read back via netOutflow below; see comment.
+        (void)solver.solve(src, dst);
         // Report the value via the same accumulation repairFlow()
         // uses, so a repaired run and a cold run of the same network
         // log bit-identical flow values.

@@ -19,7 +19,6 @@
 #include "cluster/cluster.h"
 #include "cluster/profiler.h"
 #include "flow/graph.h"
-#include "flow/max_flow.h"
 #include "placement/placement.h"
 
 namespace helix {
@@ -34,7 +33,7 @@ class ConnectionFilter
 {
   public:
     /** Build an all-pairs-allowed filter for @p num_nodes nodes. */
-    static ConnectionFilter allowAll(int num_nodes);
+    [[nodiscard]] static ConnectionFilter allowAll(int num_nodes);
 
     /**
      * Prune slow links so each node keeps roughly @p target_degree
@@ -42,16 +41,16 @@ class ConnectionFilter
      * Links are ranked by bandwidth, descending. Coordinator links are
      * never pruned.
      */
-    static ConnectionFilter pruneByBandwidth(
+    [[nodiscard]] static ConnectionFilter pruneByBandwidth(
         const cluster::ClusterSpec &cluster, int target_degree);
 
     /** Whether compute pair (from, to) may communicate. */
-    bool allowed(int from, int to) const;
+    [[nodiscard]] bool allowed(int from, int to) const;
 
     /** Number of allowed directed compute-compute pairs. */
-    int numAllowed() const;
+    [[nodiscard]] int numAllowed() const;
 
-    int numNodes() const { return side; }
+    [[nodiscard]] int numNodes() const { return side; }
 
   private:
     int side = 0;
@@ -64,7 +63,8 @@ class ConnectionFilter
  * criteria). With partial inference the condition is
  * s_to <= e_from < e_to; without it, e_from == s_to.
  */
-bool connectionValid(const NodePlacement &from, const NodePlacement &to,
+[[nodiscard]] bool connectionValid(const NodePlacement &from,
+                                   const NodePlacement &to,
                      bool allow_partial_inference);
 
 /** Options controlling placement-graph construction. */
@@ -99,7 +99,7 @@ class PlacementGraph
      * Max source→sink flow (tokens/second) via preflow-push. Runs at
      * most once; subsequent calls return the cached value.
      */
-    double maxThroughput();
+    [[nodiscard]] double maxThroughput();
 
     /**
      * Incrementally repair the flow after setComputeCapacity() calls
@@ -109,7 +109,7 @@ class PlacementGraph
      * @return the updated max-flow value, which becomes the cached
      *         maxThroughput() value.
      */
-    double repairFlow();
+    [[nodiscard]] double repairFlow();
 
     /**
      * Update @p node's compute-edge capacity in place (tokens/s),
@@ -122,18 +122,18 @@ class PlacementGraph
 
     /** Forward edge carrying @p node's compute throughput, or
      *  flow::kInvalidEdge when the node holds no layers. */
-    flow::EdgeId computeEdge(int node) const;
+    [[nodiscard]] flow::EdgeId computeEdge(int node) const;
 
     /** Flow currently routed through @p node's compute edge (0 for
      *  nodes holding no layers). Requires a solved/repaired flow. */
-    double nodeFlow(int node) const;
+    [[nodiscard]] double nodeFlow(int node) const;
 
     /** Flow on the connection from @p from to @p to; endpoints may be
      *  cluster::kCoordinator. Requires maxThroughput() first. */
-    double connectionFlow(int from, int to) const;
+    [[nodiscard]] double connectionFlow(int from, int to) const;
 
     /** Whether a connection edge exists between the endpoints. */
-    bool hasConnection(int from, int to) const;
+    [[nodiscard]] bool hasConnection(int from, int to) const;
 
     /** All existing directed connections with their flows.
      *  Requires maxThroughput() first. */
@@ -144,27 +144,27 @@ class PlacementGraph
         double capacity = 0.0;
         double flow = 0.0;
     };
-    std::vector<ConnectionInfo> connections() const;
+    [[nodiscard]] std::vector<ConnectionInfo> connections() const;
 
     /** The underlying flow network (for tests and diagnostics). */
-    const flow::FlowGraph &graph() const { return net; }
+    [[nodiscard]] const flow::FlowGraph &graph() const { return net; }
 
-    flow::NodeId source() const { return src; }
-    flow::NodeId sink() const { return dst; }
+    [[nodiscard]] flow::NodeId source() const { return src; }
+    [[nodiscard]] flow::NodeId sink() const { return dst; }
 
     /** in/out vertex of a compute node in the flow network. */
-    flow::NodeId inVertex(int node) const;
-    flow::NodeId outVertex(int node) const;
+    [[nodiscard]] flow::NodeId inVertex(int node) const;
+    [[nodiscard]] flow::NodeId outVertex(int node) const;
 
     /**
      * Map a flow-network vertex back to its cluster endpoint:
      * cluster::kCoordinator for source/sink, otherwise the compute
      * node index. In-vertices return the node; out-vertices too.
      */
-    int clusterEndpoint(flow::NodeId vertex) const;
+    [[nodiscard]] int clusterEndpoint(flow::NodeId vertex) const;
 
     /** Whether @p vertex is a compute node's in-vertex. */
-    bool isInVertex(flow::NodeId vertex) const;
+    [[nodiscard]] bool isInVertex(flow::NodeId vertex) const;
 
   private:
     const cluster::ClusterSpec &clusterRef;
@@ -199,7 +199,8 @@ class PlacementGraph
  *              invoked if not already computed
  * @return estimated tokens/second
  */
-double estimateServingThroughput(const cluster::ClusterSpec &cluster,
+[[nodiscard]] double estimateServingThroughput(
+    const cluster::ClusterSpec &cluster,
                                  const cluster::Profiler &profiler,
                                  const ModelPlacement &placement,
                                  PlacementGraph &graph);

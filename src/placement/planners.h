@@ -26,11 +26,12 @@ class Planner
     virtual ~Planner() = default;
 
     /** Short identifier used in reports ("helix", "swarm", ...). */
-    virtual std::string name() const = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
 
     /** Produce a placement for @p cluster serving @p profiler's model. */
-    virtual ModelPlacement plan(const cluster::ClusterSpec &cluster,
-                                const cluster::Profiler &profiler) = 0;
+    [[nodiscard]] virtual ModelPlacement plan(
+        const cluster::ClusterSpec &cluster,
+        const cluster::Profiler &profiler) = 0;
 };
 
 /**

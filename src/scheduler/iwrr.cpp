@@ -1,5 +1,7 @@
 #include "scheduler/iwrr.h"
 
+#include "util/logging.h"
+
 namespace helix {
 namespace scheduler {
 

@@ -18,9 +18,8 @@
 #ifndef HELIX_SCHEDULER_IWRR_H
 #define HELIX_SCHEDULER_IWRR_H
 
+#include <cstddef>
 #include <vector>
-
-#include "util/logging.h"
 
 namespace helix {
 namespace scheduler {

@@ -35,14 +35,14 @@ struct PipelineStage
     int startLayer = 0;
     int endLayer = 0;
 
-    int numLayers() const { return endLayer - startLayer; }
+    [[nodiscard]] int numLayers() const { return endLayer - startLayer; }
 };
 
 /** A complete per-request pipeline covering layers [0, L). */
 using Pipeline = std::vector<PipelineStage>;
 
 /** Check a pipeline covers every layer exactly once and in order. */
-bool pipelineValid(const Pipeline &pipeline, int num_layers);
+[[nodiscard]] bool pipelineValid(const Pipeline &pipeline, int num_layers);
 
 /**
  * Runtime feedback the simulator exposes to schedulers (queue depths,
@@ -102,22 +102,25 @@ class Topology
     static constexpr int kSink = -2;
 
     /** Outgoing valid connections of a vertex (kCoordinator or node). */
-    const std::vector<OutEdge> &outEdges(int vertex) const;
+    [[nodiscard]] const std::vector<OutEdge> &outEdges(int vertex) const;
 
     /** Layer interval held by @p node. */
-    const placement::NodePlacement &nodePlacement(int node) const;
+    [[nodiscard]] const placement::NodePlacement &nodePlacement(int node) const;
 
     /** KV capacity of @p node under its placement. */
-    double kvCapacityBytes(int node) const;
+    [[nodiscard]] double kvCapacityBytes(int node) const;
 
     /** KV bytes per (token, layer) of the served model. */
-    double kvBytesPerTokenPerLayer() const;
+    [[nodiscard]] double kvBytesPerTokenPerLayer() const;
 
-    int numNodes() const { return static_cast<int>(placements.size()); }
-    int numLayers() const { return layers; }
+    [[nodiscard]] int numNodes() const
+    {
+        return static_cast<int>(placements.size());
+    }
+    [[nodiscard]] int numLayers() const { return layers; }
 
     /** Max-flow value of the underlying graph (tokens/s). */
-    double maxFlow() const { return flowValue; }
+    [[nodiscard]] double maxFlow() const { return flowValue; }
 
   private:
     std::vector<std::vector<OutEdge>> edges; // [node + 1]; 0 = coord
@@ -134,7 +137,7 @@ class RequestScheduler
   public:
     virtual ~RequestScheduler() = default;
 
-    virtual std::string name() const = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
 
     /**
      * Assign @p request a pipeline.
@@ -201,11 +204,11 @@ class KvEstimator
                 double high_water_mark);
 
     /** Estimated KV bytes @p request needs on @p stage's node. */
-    double requestBytes(const trace::Request &request,
-                        const PipelineStage &stage) const;
+    [[nodiscard]] double requestBytes(const trace::Request &request,
+                                      const PipelineStage &stage) const;
 
     /** Whether @p node can accept @p request's stage load. */
-    bool admits(int node, double bytes) const;
+    [[nodiscard]] bool admits(int node, double bytes) const;
 
     /** Reserve estimated bytes for an admitted request. */
     void reserve(int node, double bytes);
@@ -213,7 +216,10 @@ class KvEstimator
     /** Release estimated bytes when a request finishes. */
     void release(int node, double bytes);
 
-    double estimatedUsage(int node) const { return usage[node]; }
+    [[nodiscard]] double estimatedUsage(int node) const
+    {
+        return usage[node];
+    }
 
     /**
      * Rebind to a re-solved topology (same cluster, same node count).
@@ -246,7 +252,8 @@ struct SchedulerConfig
 class HelixScheduler : public RequestScheduler
 {
   public:
-    HelixScheduler(const Topology &topology, SchedulerConfig config = {});
+    explicit HelixScheduler(const Topology &topology,
+                            SchedulerConfig config = {});
 
     std::string name() const override { return "helix"; }
 
@@ -265,7 +272,7 @@ class HelixScheduler : public RequestScheduler
     void onTopologyChange(const Topology &topology) override;
 
     /** Topology currently driving the IWRR weights (for tests). */
-    const Topology &topology() const { return *topo; }
+    [[nodiscard]] const Topology &topology() const { return *topo; }
 
   private:
     /** One IWRR walk attempt; nullopt when it dead-ends. */
@@ -347,7 +354,7 @@ class FixedPipelineScheduler : public RequestScheduler
      *  capacity drops to zero, masking pipelines through it). */
     void onTopologyChange(const Topology &topology) override;
 
-    size_t numPipelines() const { return fixed.size(); }
+    [[nodiscard]] size_t numPipelines() const { return fixed.size(); }
 
   private:
     const Topology *topo;
@@ -361,7 +368,7 @@ class FixedPipelineScheduler : public RequestScheduler
  * Derive disjoint full-coverage pipelines from a placement by chaining
  * nodes whose intervals tile [0, L) (used with the SP planner).
  */
-std::vector<Pipeline> derivePipelines(
+[[nodiscard]] std::vector<Pipeline> derivePipelines(
     const placement::ModelPlacement &placement, int num_layers);
 
 } // namespace scheduler

@@ -22,7 +22,7 @@ TopologyManager::TopologyManager(
         // initial build is a cold solve.
         liveGraph = std::make_unique<placement::PlacementGraph>(
             clusterRef, profilerRef, placementRef, opts);
-        liveGraph->maxThroughput();
+        (void)liveGraph->maxThroughput(); // prime the cached solve
         ++solves;
         placement::ModelPlacement masked = placementRef;
         topo = std::make_unique<Topology>(clusterRef, profilerRef,
@@ -93,6 +93,7 @@ TopologyManager::setNodeCapacity(int node, double tokens_per_s)
     if (!alive[node] || placementRef[node].count == 0)
         return currentFlow();
     double next = tokens_per_s < 0.0 ? -1.0 : tokens_per_s;
+    // helix-lint: allow(float-eq) idempotence short-circuit: only a bit-identical override skips the re-solve
     if (capOverride[node] == next)
         return currentFlow();
     capOverride[node] = next;
@@ -124,10 +125,11 @@ TopologyManager::resolve()
                 continue;
             double want = effectiveCapacity(node);
             flow::EdgeId e = liveGraph->computeEdge(node);
+            // helix-lint: allow(float-eq) exact no-op filter: capacities are copied values, never computed, so equal means unchanged
             if (liveGraph->graph().edge(e).originalCapacity != want)
                 liveGraph->setComputeCapacity(node, want);
         }
-        liveGraph->repairFlow();
+        (void)liveGraph->repairFlow(); // value read via nodeFlow below
         ++repairs;
         topo = std::make_unique<Topology>(clusterRef, profilerRef,
                                           masked, *liveGraph);
@@ -139,7 +141,7 @@ TopologyManager::resolve()
     local.computeCapOverride = &capOverride;
     placement::PlacementGraph graph(clusterRef, profilerRef, masked,
                                     local);
-    graph.maxThroughput();
+    (void)graph.maxThroughput(); // prime flows before Topology copies
     // Topology copies the placements and edge flows it needs, so the
     // local graph and masked placement may go out of scope. Consumers
     // of current() copy in turn (RequestScheduler::onTopologyChange),

@@ -73,9 +73,9 @@ class TopologyManager
                     ResolveMode mode = ResolveMode::Cold);
 
     /** The topology solved for the current liveness set. */
-    const Topology &current() const { return *topo; }
+    [[nodiscard]] const Topology &current() const { return *topo; }
 
-    bool nodeAlive(int node) const;
+    [[nodiscard]] bool nodeAlive(int node) const;
 
     /**
      * Mark @p node dead or alive and re-solve max-flow on the
@@ -99,25 +99,25 @@ class TopologyManager
     /** Current compute capacity of @p node (tokens/s): the override
      *  when set, otherwise the profiled decode throughput; 0 for
      *  nodes holding no layers. */
-    double nodeCapacity(int node) const;
+    [[nodiscard]] double nodeCapacity(int node) const;
 
     /** Flow planned through @p node's compute edge by the current
      *  topology (tokens/s) — the reference the drift trigger compares
      *  observed EWMA throughput against. */
-    double plannedNodeFlow(int node) const;
+    [[nodiscard]] double plannedNodeFlow(int node) const;
 
     /** Max-flow value of the current topology (tokens/s). */
-    double currentFlow() const { return topo->maxFlow(); }
+    [[nodiscard]] double currentFlow() const { return topo->maxFlow(); }
 
     /** Number of cold max-flow solves performed (initial build + one
      *  per effective event in Cold mode). */
-    int numSolves() const { return solves; }
+    [[nodiscard]] int numSolves() const { return solves; }
 
     /** Number of warm-start incremental repairs performed (Repair
      *  mode only; the initial build is always a cold solve). */
-    int numRepairs() const { return repairs; }
+    [[nodiscard]] int numRepairs() const { return repairs; }
 
-    ResolveMode resolveMode() const { return mode; }
+    [[nodiscard]] ResolveMode resolveMode() const { return mode; }
 
   private:
     /** Rebuild the masked placement graph and re-solve (Cold), or

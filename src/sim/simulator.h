@@ -339,6 +339,7 @@ class ClusterSimulator : public scheduler::SchedulerContext
         bool
         operator()(const Event &a, const Event &b) const
         {
+            // helix-lint: allow(float-eq) exact event-time tie-break: equal times must fall through to the seq ordering for determinism
             if (a.time != b.time)
                 return a.time > b.time;
             return a.seq > b.seq;

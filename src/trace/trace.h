@@ -114,8 +114,9 @@ class PoissonArrivals : public ArrivalProcess
 class DiurnalArrivals : public ArrivalProcess
 {
   public:
-    DiurnalArrivals(double mean_rate_per_s, double amplitude = 0.3,
-                    double period_s = 3600.0);
+    explicit DiurnalArrivals(double mean_rate_per_s,
+                             double amplitude = 0.3,
+                             double period_s = 3600.0);
 
     double nextArrival(double now, Rng &rng) override;
 
@@ -146,7 +147,7 @@ class BurstyArrivals : public ArrivalProcess
      * @param mean_burst_s mean burst duration
      * @param mean_gap_s mean quiet time between bursts
      */
-    BurstyArrivals(double base_rate_per_s,
+    explicit BurstyArrivals(double base_rate_per_s,
                    double burst_multiplier = 5.0,
                    double mean_burst_s = 30.0,
                    double mean_gap_s = 270.0);

@@ -54,35 +54,35 @@ class Rng
     explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL);
 
     /** Next raw 64-bit value. */
-    uint64_t nextU64();
+    [[nodiscard]] uint64_t nextU64();
 
     /** Uniform double in [0, 1). */
-    double nextDouble();
+    [[nodiscard]] double nextDouble();
 
     /** Uniform integer in [0, bound) with rejection to avoid bias. */
-    uint64_t nextBounded(uint64_t bound);
+    [[nodiscard]] uint64_t nextBounded(uint64_t bound);
 
     /** Uniform integer in [lo, hi] inclusive. */
-    int64_t nextInt(int64_t lo, int64_t hi);
+    [[nodiscard]] int64_t nextInt(int64_t lo, int64_t hi);
 
     /** Uniform double in [lo, hi). */
-    double nextUniform(double lo, double hi);
+    [[nodiscard]] double nextUniform(double lo, double hi);
 
     /** Exponential with the given rate (mean 1/rate). */
-    double nextExponential(double rate);
+    [[nodiscard]] double nextExponential(double rate);
 
     /** Normal via Box-Muller. */
-    double nextNormal(double mean, double stddev);
+    [[nodiscard]] double nextNormal(double mean, double stddev);
 
     /** Log-normal parameterized by the underlying normal's mu/sigma. */
-    double nextLogNormal(double mu, double sigma);
+    [[nodiscard]] double nextLogNormal(double mu, double sigma);
 
     /**
      * Sample an index proportionally to the given non-negative weights.
      * @return index in [0, weights.size()), or SIZE_MAX if all weights
      *         are zero.
      */
-    size_t nextWeighted(const std::vector<double> &weights);
+    [[nodiscard]] size_t nextWeighted(const std::vector<double> &weights);
 
     /** Fisher-Yates shuffle of a vector. */
     template <typename T>

@@ -1,0 +1,14 @@
+// helix-lint: treat-as(src/flow/fixture.cpp)
+// Clean counterpart for the float-eq check: comparisons go through a
+// tolerance, and integer comparisons are untouched by the check.
+#include <cmath>
+
+bool sameFlow(double a, double b)
+{
+    return std::abs(a - b) < 1e-9;
+}
+
+bool sameCount(int lhs_count, int rhs_count)
+{
+    return lhs_count == rhs_count;
+}

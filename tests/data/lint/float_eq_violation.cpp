@@ -1,0 +1,12 @@
+// helix-lint: treat-as(src/flow/fixture.cpp)
+// Seeded violations for the float-eq check: exact equality on
+// floating-point values outside a tolerance helper.
+bool sameFlow(double a, double b)
+{
+    return a == b;  // LINT-EXPECT: float-eq
+}
+
+bool notSaturated(double utilization)
+{
+    return utilization != 1.0;  // LINT-EXPECT: float-eq
+}

@@ -1,0 +1,22 @@
+// helix-lint: treat-as(src/sim/fixture.h)
+// Clean counterpart for the hot-path-std-function check: a
+// trivially-copyable tagged union dispatched on `kind`, the shape
+// src/sim/simulator.h uses for its Event type.
+#ifndef HELIX_TESTS_DATA_LINT_HOT_PATH_STD_FUNCTION_CLEAN_H
+#define HELIX_TESTS_DATA_LINT_HOT_PATH_STD_FUNCTION_CLEAN_H
+
+struct FixtureEvent
+{
+    enum class Kind
+    {
+        Arrival,
+        StageDone,
+    };
+
+    Kind kind = Kind::Arrival;
+    double time = 0.0;
+    int request = -1;
+    int node = -1;
+};
+
+#endif

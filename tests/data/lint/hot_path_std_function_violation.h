@@ -1,0 +1,15 @@
+// helix-lint: treat-as(src/sim/fixture.h)
+// Seeded violation for the hot-path-std-function check: a callable
+// member in a simulator event type (the PR 2 regression class).
+#ifndef HELIX_TESTS_DATA_LINT_HOT_PATH_STD_FUNCTION_VIOLATION_H
+#define HELIX_TESTS_DATA_LINT_HOT_PATH_STD_FUNCTION_VIOLATION_H
+
+#include <functional>
+
+struct FixtureEvent
+{
+    double time = 0.0;
+    std::function<void()> onFire;  // LINT-EXPECT: hot-path-std-function
+};
+
+#endif

@@ -1,0 +1,22 @@
+// helix-lint: treat-as(src/io/fixture.h)
+// Clean counterpart for the parse-error-threading check: the parser
+// pairs its convenience overload with one threading io::ParseError.
+#ifndef HELIX_TESTS_DATA_LINT_PARSE_ERROR_THREADING_CLEAN_H
+#define HELIX_TESTS_DATA_LINT_PARSE_ERROR_THREADING_CLEAN_H
+
+#include <optional>
+#include <string>
+
+#include "io/serialization.h"
+
+struct FixtureWidget
+{
+    int size = 0;
+};
+
+std::optional<FixtureWidget> widgetFromString(
+    const std::string &text, helix::io::ParseError &error);
+
+std::optional<FixtureWidget> widgetFromString(const std::string &text);
+
+#endif

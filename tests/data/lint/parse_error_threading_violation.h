@@ -1,0 +1,18 @@
+// helix-lint: treat-as(src/io/fixture.h)
+// Seeded violation for the parse-error-threading check: a FromString
+// parser with no io::ParseError-threading overload, so callers can
+// never report line-accurate errors.
+#ifndef HELIX_TESTS_DATA_LINT_PARSE_ERROR_THREADING_VIOLATION_H
+#define HELIX_TESTS_DATA_LINT_PARSE_ERROR_THREADING_VIOLATION_H
+
+#include <optional>
+#include <string>
+
+struct FixtureWidget
+{
+    int size = 0;
+};
+
+std::optional<FixtureWidget> widgetFromString(const std::string &text);  // LINT-EXPECT: parse-error-threading
+
+#endif

@@ -1,0 +1,9 @@
+// helix-lint: treat-as(src/sim/fixture.cpp)
+// Clean counterpart for the raw-random check: every draw flows
+// through the seeded helix::Rng, and no wall clock is read.
+#include "util/random.h"
+
+double jitteredDelay(helix::Rng &rng, double base_s)
+{
+    return base_s * (1.0 + 0.1 * rng.nextDouble());
+}

@@ -1,0 +1,6 @@
+// helix-lint: treat-as(src/flow/graph.cpp)
+// Clean counterpart for the self-include-first check: the file's own
+// header comes first, then system headers.
+#include "flow/graph.h"
+
+#include <vector>

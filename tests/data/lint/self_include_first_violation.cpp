@@ -1,0 +1,7 @@
+// helix-lint: treat-as(src/flow/graph.cpp)
+// Seeded violation for the self-include-first check: a system header
+// precedes the file's own header, so graph.h is never proven
+// self-contained.
+#include <vector>  // LINT-EXPECT: self-include-first
+
+#include "flow/graph.h"

@@ -1,0 +1,9 @@
+// helix-lint: treat-as(src/flow/fixture.cpp)
+// Clean fixture: a well-formed, justified allow() both parses without
+// a suppression finding and suppresses the float-eq finding on the
+// line below it.
+bool capacityUnchanged(double previous, double next)
+{
+    // helix-lint: allow(float-eq) capacities are copied values, never computed, so equal means unchanged
+    return previous == next;
+}

@@ -1,0 +1,12 @@
+// Seeded violations for the suppression check: an allow() with no
+// justification and an allow() naming an unknown check. Both must be
+// findings; neither may silently suppress anything.
+// LINT-EXPECT-NEXT: suppression
+// helix-lint: allow(float-eq)
+// LINT-EXPECT-NEXT: suppression
+// helix-lint: allow(no-such-check) the id above does not exist
+
+int fixtureNoop()
+{
+    return 0;
+}

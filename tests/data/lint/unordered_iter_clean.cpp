@@ -1,0 +1,20 @@
+// helix-lint: treat-as(src/sim/fixture.cpp)
+// Clean counterpart for the unordered-iter check: the map is used
+// only for point lookups; emission order comes from a sorted key
+// vector, so output cannot depend on hash-table layout.
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+int totalTokens()
+{
+    std::vector<int> nodes = {3, 1, 2};
+    std::unordered_map<int, int> tokensByNode;
+    for (int node : nodes)
+        tokensByNode[node] = node * node;
+    std::sort(nodes.begin(), nodes.end());
+    int total = 0;
+    for (int node : nodes)
+        total += tokensByNode[node];
+    return total;
+}

@@ -1,0 +1,17 @@
+// helix-lint: treat-as(src/sim/fixture.cpp)
+// Seeded violations for the unordered-iter check: iterating an
+// unordered container in determinism-critical code.
+#include <unordered_map>
+
+int totalTokens()
+{
+    std::unordered_map<int, int> tokensByNode;
+    tokensByNode[3] = 7;
+    tokensByNode[1] = 5;
+    int total = 0;
+    for (const auto &entry : tokensByNode)  // LINT-EXPECT: unordered-iter
+        total += entry.second;
+    for (auto it = tokensByNode.begin(); it != tokensByNode.end(); ++it)  // LINT-EXPECT: unordered-iter
+        total += it->second;
+    return total;
+}

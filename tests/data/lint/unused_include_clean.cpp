@@ -1,0 +1,11 @@
+// Clean counterpart for the unused-include check: the included
+// project header's declarations are actually used.
+#include "util/stats.h"
+
+double fixtureMedian()
+{
+    helix::Histogram hist(0.0, 1.0, 4);
+    hist.add(0.25);
+    hist.add(0.75);
+    return hist.quantile(0.5);
+}

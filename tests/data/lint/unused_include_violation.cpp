@@ -1,0 +1,8 @@
+// Seeded violation for the unused-include check: a project header is
+// included but none of its declarations are ever referenced.
+#include "util/stats.h"  // LINT-EXPECT: unused-include
+
+int fixtureAnswer()
+{
+    return 42;
+}

@@ -154,7 +154,7 @@ TEST_F(ChurnFixture, TopologyManagerResolvesSurvivingSubgraph)
     // subgraph, edge for edge.
     placement::PlacementGraph fresh(clusterSpec, *profiler,
                                     maskedPlacement({1}));
-    fresh.maxThroughput();
+    (void)fresh.maxThroughput();
     expectFlowsMatch(manager.current(), fresh);
     // The dead node has no vertices in the surviving subgraph.
     EXPECT_TRUE(manager.current().outEdges(1).empty());
@@ -165,7 +165,7 @@ TEST_F(ChurnFixture, TopologyManagerResolvesSurvivingSubgraph)
     EXPECT_EQ(manager.numSolves(), 3);
     EXPECT_DOUBLE_EQ(restored, topo->maxFlow());
     placement::PlacementGraph full(clusterSpec, *profiler, placement);
-    full.maxThroughput();
+    (void)full.maxThroughput();
     expectFlowsMatch(manager.current(), full);
 
     // Redundant liveness writes do not re-solve.
@@ -197,7 +197,7 @@ TEST_F(ChurnFixture, HelixWeightsMatchFreshSolveAfterFailure)
                      manager.currentFlow());
     placement::PlacementGraph fresh(clusterSpec, *profiler,
                                     maskedPlacement({1}));
-    fresh.maxThroughput();
+    (void)fresh.maxThroughput();
     expectFlowsMatch(sched.topology(), fresh);
 
     // Post-failure routing proportions follow the fresh flows: the
@@ -239,7 +239,7 @@ TEST_F(ChurnFixture, RecoveryRestoresRoutingThroughRejoinedNode)
 
     // Weights are the full-topology solution again...
     placement::PlacementGraph full(clusterSpec, *profiler, placement);
-    full.maxThroughput();
+    (void)full.maxThroughput();
     expectFlowsMatch(sched.topology(), full);
 
     // ...and requests route through the rejoined node again.
@@ -306,7 +306,7 @@ TEST_F(ChurnFixture, LegacySingleFailureAlsoResolves)
     // surviving subgraph (the stale-weight regression).
     placement::PlacementGraph fresh(clusterSpec, *profiler,
                                     maskedPlacement({1}));
-    fresh.maxThroughput();
+    (void)fresh.maxThroughput();
     expectFlowsMatch(sched.topology(), fresh);
 }
 

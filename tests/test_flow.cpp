@@ -442,7 +442,7 @@ TEST(FlowRepair, RepeatedRepairIsIdempotent)
 {
     FlowGraph g = diamondGraph();
     PreflowPush solver(g);
-    solver.solve(0, 1);
+    (void)solver.solve(0, 1);
     g.setEdgeCapacity(8, 1.5); // shrink b->t below its flow
     double first = solver.repair(0, 1);
 

@@ -316,7 +316,7 @@ TEST(FlowDifferential, RepairMatchesOnRawRandomGraphs)
         if (forward.empty())
             continue;
         flow::PreflowPush solver(g);
-        solver.solve(0, 1);
+        (void)solver.solve(0, 1);
         for (int step = 0; step < 10; ++step) {
             EdgeId target =
                 forward[rng.nextBounded(forward.size())];
