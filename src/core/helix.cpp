@@ -164,6 +164,7 @@ runExperiment(const Deployment &deployment,
     sim_config.repairTopology = config.repairTopology;
     sim_config.driftThreshold = config.driftThreshold;
     sim_config.nodeSlowdown = config.nodeSlowdown;
+    sim_config.simThreads = config.simThreads;
     sim::ClusterSimulator simulator(
         deployment.clusterSpec(), deployment.profiler(),
         deployment.placement(), scheduler, sim_config);

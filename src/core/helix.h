@@ -158,6 +158,10 @@ struct RunConfig
     /** Per-node batch slowdown multipliers modeling unprofiled
      *  degradation (sim::SimConfig::nodeSlowdown). */
     std::vector<double> nodeSlowdown;
+    /** Worker threads for the sharded deterministic event loop
+     *  (sim::SimConfig::simThreads). 1 = reference serial loop; any
+     *  value yields byte-identical results. */
+    int simThreads = 1;
 };
 
 /**

@@ -276,6 +276,9 @@ scenarioRunConfig(const io::ExperimentSpec &spec,
     uint64_t seed = static_cast<uint64_t>(
         scenario.get("seed", static_cast<double>(spec.seed)));
     RunConfig run = catalog.toRun(warmup, measure, seed);
+    // Purely a wall-clock knob: the sharded executor is byte-identical
+    // to the serial loop, so sim-threads never alters results.
+    run.simThreads = spec.simThreads;
     if (scenario.kind == "online-peak") {
         // Sec. 6.2: the online arrival rate is `fraction` of the
         // measured offline peak, in requests/s of mean output length.

@@ -75,6 +75,8 @@ experimentToString(const ExperimentSpec &spec)
     out << "output " << spec.output << "\n";
     if (spec.threads != 0)
         out << "threads " << spec.threads << "\n";
+    if (spec.simThreads != 1)
+        out << "sim-threads " << spec.simThreads << "\n";
     out << "seed " << spec.seed << "\n";
     out << "warmup " << num(spec.warmupS) << "\n";
     out << "measure " << num(spec.measureS) << "\n";
@@ -158,6 +160,16 @@ experimentFromString(const std::string &text, ParseError &error)
                 return std::nullopt;
             if (!parseInt(toks[1], spec.threads) || spec.threads < 0) {
                 error = {line, "threads must be a non-negative "
+                               "integer, got '" + toks[1] + "'"};
+                return std::nullopt;
+            }
+        } else if (tag == "sim-threads") {
+            if (!want_args(toks, 1, "sim-threads <count>") ||
+                !scalar_once(tag, line))
+                return std::nullopt;
+            if (!parseInt(toks[1], spec.simThreads) ||
+                spec.simThreads < 1) {
+                error = {line, "sim-threads must be a positive "
                                "integer, got '" + toks[1] + "'"};
                 return std::nullopt;
             }

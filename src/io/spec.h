@@ -114,6 +114,11 @@ struct ExperimentSpec
     std::string output = "csv";
     /** Worker threads (0 = hardware concurrency). */
     int threads = 0;
+    /** Worker threads inside each simulation's sharded event loop
+     *  (sim::SimConfig::simThreads); 1 = serial reference loop. Any
+     *  value produces byte-identical results, so this is purely a
+     *  wall-clock knob. */
+    int simThreads = 1;
     uint64_t seed = 42;
     /** Default warmup/measure windows, overridable per scenario. */
     double warmupS = 30.0;

@@ -174,6 +174,15 @@ class RequestScheduler
      * from the new edge flows — so routing proportions always match
      * the live cluster. Implementations copy what they keep, so
      * @p topology only needs to live for the duration of the call.
+     *
+     * Threading: topology swaps are coordinator-confined. The
+     * parallel simulation executor (sim/executor.h) only delivers
+     * this callback from the round-driver thread — churn events run
+     * inside a full serial barrier, and drift re-solves are deferred
+     * from node shards to the serial coordinator phase — so
+     * implementations need no internal locking; every scheduler call
+     * (schedule, notifications, this swap) is serialized by the
+     * executor's round structure.
      */
     virtual void
     onTopologyChange(const Topology &topology)

@@ -2,12 +2,22 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "scheduler/topology_manager.h"
+#include "sim/executor.h"
 #include "util/logging.h"
 
 namespace helix {
 namespace sim {
+
+thread_local ParallelLane *ClusterSimulator::tlsLane = nullptr;
+
+void
+ClusterSimulator::setTlsLane(ParallelLane *lane)
+{
+    tlsLane = lane;
+}
 
 const char *
 toString(ChurnEvent::Kind kind)
@@ -91,11 +101,43 @@ ClusterSimulator::linkState(int from, int to)
     return links[static_cast<size_t>(from + 1) * side + (to + 1)];
 }
 
+bool
+ClusterSimulator::eventBefore(const Event &a, const Event &b)
+{
+    // helix-lint: allow(float-eq) exact-time ties are real (symmetric workloads produce them) and fall through to the content key
+    if (a.time != b.time)
+        return a.time < b.time;
+    if (a.kind != b.kind)
+        return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+    if (a.node != b.node)
+        return a.node < b.node;
+    if (a.item.request != b.item.request)
+        return a.item.request < b.item.request;
+    if (a.item.stage != b.item.stage)
+        return a.item.stage < b.item.stage;
+    if (a.item.epoch != b.item.epoch)
+        return a.item.epoch < b.item.epoch;
+    // Unreachable for distinct coexisting events (see the declaration
+    // comment); kept so the order stays total for duplicates, e.g. two
+    // identical churn entries in the schedule.
+    return a.seq < b.seq;
+}
+
+double
+ClusterSimulator::curTime() const
+{
+    return (par != nullptr && tlsLane != nullptr) ? tlsLane->now : now;
+}
+
 void
 ClusterSimulator::scheduleEvent(double when, Event event)
 {
-    HELIX_ASSERT(when >= now);
+    HELIX_ASSERT(when >= curTime());
     event.time = when;
+    if (par != nullptr) {
+        par->route(event, tlsLane);
+        return;
+    }
     event.seq = eventSeq++;
     events.push(event);
 }
@@ -114,9 +156,22 @@ ClusterSimulator::contextLen(const RequestState &rs) const
 }
 
 int
+ClusterSimulator::nodeInFlightView(int node) const
+{
+    return par != nullptr ? par->viewInFlight(node)
+                          : nodes[node].inFlight;
+}
+
+bool
+ClusterSimulator::nodeBusyView(int node) const
+{
+    return par != nullptr ? par->viewBusy(node) : nodes[node].busy;
+}
+
+int
 ClusterSimulator::queueLength(int node) const
 {
-    return nodes[node].inFlight;
+    return nodeInFlightView(node);
 }
 
 double
@@ -127,18 +182,21 @@ ClusterSimulator::recentThroughput(int node) const
     // went quiet (idle, masked, or dead) keeps reporting its last
     // busy-period rate forever, and the Swarm-style throughput-
     // proportional walker keeps over-weighting it.
-    const NodeState &state = nodes[node];
-    if (state.ewmaThroughput <= 0.0)
+    double ewma_tp = par != nullptr ? par->viewEwmaThroughput(node)
+                                    : nodes[node].ewmaThroughput;
+    if (ewma_tp <= 0.0)
         return 0.0;
+    double ewma_at = par != nullptr ? par->viewEwmaUpdatedAt(node)
+                                    : nodes[node].ewmaUpdatedAt;
     double tau = std::max(1e-9, cfg.throughputEwmaTauS);
-    double idle = std::max(0.0, now - state.ewmaUpdatedAt);
-    return state.ewmaThroughput * std::exp(-idle / tau);
+    double idle = std::max(0.0, curTime() - ewma_at);
+    return ewma_tp * std::exp(-idle / tau);
 }
 
 double
 ClusterSimulator::kvUsedBytes(int node) const
 {
-    return nodes[node].kvUsed;
+    return par != nullptr ? par->viewKvUsed(node) : nodes[node].kvUsed;
 }
 
 bool
@@ -170,10 +228,17 @@ ClusterSimulator::tryAdmit()
             // — so the backlog is held instead of rejected.
             bool idle = true;
             bool any_dead = false;
-            for (const NodeState &node : nodes) {
-                if (node.dead) {
+            for (size_t node = 0; node < nodes.size(); ++node) {
+                // Busy/in-flight go through the coordinator view so the
+                // parallel executor answers with the mirror (the state
+                // as of the node events that precede this coordinator
+                // event); `dead` only changes at barriers and is safe
+                // to read live.
+                if (nodes[node].dead) {
                     any_dead = true;
-                } else if (node.busy || node.inFlight > 0) {
+                } else if (nodeBusyView(static_cast<int>(node)) ||
+                           nodeInFlightView(static_cast<int>(node)) >
+                               0) {
                     idle = false;
                     break;
                 }
@@ -222,11 +287,12 @@ ClusterSimulator::transferDelivery(int from, int to, double bytes)
     bool bulk = bytes > 16.0 * profiler.activationBytes();
     double &busy_until =
         bulk ? ls.bulkBusyUntil : ls.interactiveBusyUntil;
-    double start = std::max(now, busy_until);
+    const double tnow = curTime();
+    double start = std::max(tnow, busy_until);
     double tx = bytes / ls.bytesPerSecond;
     busy_until = start + tx;
     if (cfg.collectLinkStats) {
-        double queue_delay = start - now;
+        double queue_delay = start - tnow;
         ++ls.stat.transfers;
         ls.stat.totalBytes += bytes;
         ls.stat.busySeconds += tx;
@@ -265,7 +331,12 @@ ClusterSimulator::startBatch(int node)
     // progress (with the swap penalty) instead of deadlocking.
     const model::TransformerSpec &spec = profiler.modelSpec();
     std::vector<WorkItem> &batch = state.running;
-    deferredScratch.clear();
+    // Deferred-prompt scratch must be shard-private when batches are
+    // assembled concurrently on worker threads.
+    std::vector<WorkItem> &deferred =
+        (par != nullptr && tlsLane != nullptr) ? tlsLane->scratch
+                                               : deferredScratch;
+    deferred.clear();
     double reserved = 0.0;
     int token_budget = cfg.maxBatchTokens;
     while (!state.queue.empty() && token_budget > 0 &&
@@ -288,7 +359,7 @@ ClusterSimulator::startBatch(int node)
                 if (!node_empty &&
                     state.kvUsed + reserved + need >
                         state.kvCapacity) {
-                    deferredScratch.push_back(item);
+                    deferred.push_back(item);
                     continue;
                 }
                 reserved += need;
@@ -313,8 +384,8 @@ ClusterSimulator::startBatch(int node)
     }
     // Put deferred prompts back at the front, preserving arrival
     // order (ahead of any split remainder they preceded).
-    for (size_t i = deferredScratch.size(); i > 0; --i)
-        state.queue.push_front(deferredScratch[i - 1]);
+    for (size_t i = deferred.size(); i > 0; --i)
+        state.queue.push_front(deferred[i - 1]);
     if (batch.empty())
         return; // All queued prompts are waiting for KV pages.
     state.busy = true;
@@ -369,7 +440,7 @@ ClusterSimulator::startBatch(int node)
     }
 
     // Sample KV utilization for metrics.
-    if (state.kvCapacity > 0.0 && inWindow(now)) {
+    if (state.kvCapacity > 0.0 && inWindow(curTime())) {
         state.utilSum += state.kvUsed / state.kvCapacity;
         ++state.utilSamples;
     }
@@ -382,7 +453,7 @@ ClusterSimulator::startBatch(int node)
     // Stamp the node's liveness epoch so a failure (and possible
     // recovery) between now and completion invalidates this batch.
     ev.item.epoch = state.epoch;
-    scheduleEvent(now + batch_s, ev);
+    scheduleEvent(curTime() + batch_s, ev);
 }
 
 void
@@ -463,10 +534,12 @@ ClusterSimulator::finishBatch(int node, double batch_seconds,
         }
         // Count a prompt completion once per request: a prompt rerun
         // after node churn is recovery work, not new served tokens.
+        // Accumulated per node (summed exactly at finalize) because
+        // this runs on shard workers under the parallel executor.
         if (item.isPrompt && last_stage && !rs.promptCounted) {
             rs.promptCounted = true;
-            if (inWindow(now))
-                metrics.promptTokensInWindow += rs.request.promptLen;
+            if (inWindow(curTime()))
+                state.promptTokensInWindow += rs.request.promptLen;
         }
     }
     state.running.clear();
@@ -486,7 +559,7 @@ ClusterSimulator::finishBatch(int node, double batch_seconds,
         1.0 - std::exp(-batch_seconds /
                        std::max(1e-9, cfg.throughputEwmaTauS));
     state.ewmaThroughput += alpha * (rate - state.ewmaThroughput);
-    state.ewmaUpdatedAt = now;
+    state.ewmaUpdatedAt = curTime();
     // Speed sample for the drift trigger: 1.0 when the batch took
     // exactly what the cost model predicts, < 1 when the node ran
     // slower than profiled (nodeSlowdown, KV paging).
@@ -509,6 +582,7 @@ ClusterSimulator::onTokenAtCoordinator(int request, uint32_t epoch)
     RequestState &rs = requests[request];
     if (rs.epoch != epoch)
         return; // Token from a pipeline that was torn down by churn.
+    const double tnow = curTime();
     ++rs.generated;
     // After a churn restart the pipeline regenerates tokens it had
     // already delivered; only tokens beyond the high-water mark are
@@ -517,7 +591,7 @@ ClusterSimulator::onTokenAtCoordinator(int request, uint32_t epoch)
     if (new_token)
         rs.peakGenerated = rs.generated;
     if (rs.firstTokenTime < 0.0) {
-        rs.firstTokenTime = now;
+        rs.firstTokenTime = tnow;
         // Mixed-window guard: only requests measured entirely inside
         // the window contribute, i.e. the arrival must also be
         // in-window — otherwise warmup queueing leaks into the
@@ -525,24 +599,41 @@ ClusterSimulator::onTokenAtCoordinator(int request, uint32_t epoch)
         // carry arbitrarily long pre-window waits). Restarted
         // requests are excluded: their first token was already
         // sampled before the failure.
-        if (!rs.restartedEver && inWindow(now) &&
+        if (!rs.restartedEver && inWindow(tnow) &&
             inWindow(rs.request.arrivalS)) {
-            metrics.promptLatency.add(now - rs.request.arrivalS);
+            metrics.promptLatency.add(tnow - rs.request.arrivalS);
         }
-    } else if (new_token && inWindow(now)) {
+    } else if (new_token && inWindow(tnow)) {
         ++metrics.decodeTokensInWindow;
     }
 
     if (rs.generated >= rs.request.outputLen) {
-        // Request complete: release exactly the KV it wrote at every
-        // stage.
-        rs.finishTime = now;
+        // Request complete: notify every stage to release exactly the
+        // KV this request wrote there. The release is an event
+        // delivered after the coordinator->node propagation latency —
+        // not an instantaneous cross-node write — both because that is
+        // what a real control plane does and because the parallel
+        // executor's safe-horizon argument requires every cross-node
+        // effect to be at least one link latency away.
+        rs.finishTime = tnow;
         rs.finished = true;
         ++metrics.requestsCompleted;
         for (size_t s = 0; s < rs.pipeline.size(); ++s) {
-            NodeState &state = nodes[rs.pipeline[s].node];
-            state.kvUsed =
-                std::max(0.0, state.kvUsed - rs.kvWritten[s]);
+            int stage_node = rs.pipeline[s].node;
+            Event ev;
+            ev.kind = Event::Kind::KvRelease;
+            ev.node = stage_node;
+            ev.kvBytes = rs.kvWritten[s];
+            ev.item.request = request;
+            ev.item.stage = static_cast<int>(s);
+            // Liveness epoch: a failure between now and delivery
+            // already zeroed the node's KV wholesale.
+            ev.item.epoch = nodes[stage_node].epoch;
+            scheduleEvent(
+                tnow +
+                    linkState(cluster::kCoordinator, stage_node)
+                        .latencyS,
+                ev);
             rs.kvWritten[s] = 0.0;
         }
         sched.onRequestFinished(rs.request, rs.pipeline);
@@ -556,12 +647,6 @@ ClusterSimulator::onTokenAtCoordinator(int request, uint32_t epoch)
             metrics.decodeLatency.add(
                 (rs.finishTime - rs.firstTokenTime) /
                 (rs.request.outputLen - 1));
-        }
-        // Freed KV pages may unblock prompts waiting at these nodes.
-        for (const scheduler::PipelineStage &stage : rs.pipeline) {
-            NodeState &state = nodes[stage.node];
-            if (!state.dead && !state.busy && !state.queue.empty())
-                startBatch(stage.node);
         }
         tryAdmit();
         return;
@@ -577,6 +662,19 @@ ClusterSimulator::onTokenAtCoordinator(int request, uint32_t epoch)
     scheduleEvent(transferDelivery(cluster::kCoordinator, first_node,
                                    profiler.tokenBytes()),
                   ev);
+}
+
+void
+ClusterSimulator::applyKvRelease(int node, double bytes,
+                                 uint32_t node_epoch)
+{
+    NodeState &state = nodes[node];
+    if (state.dead || state.epoch != node_epoch)
+        return; // The failure already dropped the node's KV wholesale.
+    state.kvUsed = std::max(0.0, state.kvUsed - bytes);
+    // Freed KV pages may unblock prompts waiting at this node.
+    if (!state.busy && !state.queue.empty())
+        startBatch(node);
 }
 
 scheduler::TopologyManager &
@@ -608,26 +706,30 @@ ClusterSimulator::resolveTopology(int node, ChurnEvent::Kind kind)
     // decision can observe a half-updated weight set, because the
     // rebind happens inside this event before any walk runs.
     sched.onTopologyChange(manager.current());
-    metrics.flowEvents.push_back({now, node, kind, flow,
+    metrics.flowEvents.push_back({curTime(), node, kind, flow,
                                   cfg.repairTopology
                                       ? ResolveKind::Repair
                                       : ResolveKind::Cold});
 }
 
-void
-ClusterSimulator::maybeDriftResolve(int node)
+bool
+ClusterSimulator::driftCheckLocal(int node) const
 {
     if (cfg.driftThreshold <= 0.0)
-        return;
-    NodeState &state = nodes[node];
+        return false;
+    const NodeState &state = nodes[node];
     if (state.dead || state.layersHeld == 0)
-        return;
+        return false;
     // Only act on a matured estimate: the EWMA climbs from zero, so
     // until the node has been busy for about one time constant the
     // observed rate understates steady state and would trigger
     // spurious shrinks.
-    if (state.busySeconds < cfg.throughputEwmaTauS)
-        return;
+    return state.busySeconds >= cfg.throughputEwmaTauS;
+}
+
+void
+ClusterSimulator::applyDriftResolve(int node, double ewma_speed)
+{
     scheduler::TopologyManager &manager = topologyManager();
     double planned = manager.plannedNodeFlow(node);
     if (planned <= flow::kFlowEps)
@@ -637,9 +739,8 @@ ClusterSimulator::maybeDriftResolve(int node)
     // ewmaThroughput blends prompt and decode tokens and is NOT
     // comparable to the planned decode flow.
     double observed =
-        state.ewmaSpeed *
-        profiler.decodeThroughput(clusterRef.node(node),
-                                  state.layersHeld);
+        ewma_speed * profiler.decodeThroughput(clusterRef.node(node),
+                                               nodes[node].layersHeld);
     if (observed >= planned * (1.0 - cfg.driftThreshold))
         return;
     // The straggler is serving below plan: shrink its compute
@@ -649,8 +750,27 @@ ClusterSimulator::maybeDriftResolve(int node)
     // further.
     double flow = manager.setNodeCapacity(node, observed);
     sched.onTopologyChange(manager.current());
-    metrics.flowEvents.push_back({now, node, ChurnEvent::Kind::Drift,
-                                  flow, ResolveKind::Drift});
+    metrics.flowEvents.push_back({curTime(), node,
+                                  ChurnEvent::Kind::Drift, flow,
+                                  ResolveKind::Drift});
+}
+
+void
+ClusterSimulator::maybeDriftResolve(int node)
+{
+    if (!driftCheckLocal(node))
+        return;
+    // Under the parallel executor a shard worker must not touch the
+    // topology manager or the scheduler: defer to the coordinator
+    // phase, which replays probes in serial event order (keyed by the
+    // triggering BatchDone). The serial loop — and a barrier step,
+    // where tlsLane is null — resolves inline.
+    if (par != nullptr && tlsLane != nullptr && !tlsLane->coordinator) {
+        tlsLane->probes.push_back(
+            {curTime(), node, nodes[node].ewmaSpeed});
+        return;
+    }
+    applyDriftResolve(node, nodes[node].ewmaSpeed);
 }
 
 void
@@ -752,7 +872,7 @@ ClusterSimulator::onNodeRecovery(int node)
     state.kvUsed = 0.0;
     state.ewmaThroughput = 0.0;
     state.ewmaSpeed = 1.0;
-    state.ewmaUpdatedAt = now;
+    state.ewmaUpdatedAt = curTime();
 
     // Re-solve with the node back in the graph and swap the restored
     // flows into the scheduler, then retry the backlog: requests that
@@ -787,7 +907,88 @@ ClusterSimulator::dispatch(const Event &event)
       case Event::Kind::NodeRecovery:
         onNodeRecovery(event.node);
         break;
+      case Event::Kind::KvRelease:
+        applyKvRelease(event.node, event.kvBytes, event.item.epoch);
+        break;
     }
+}
+
+std::vector<ChurnEvent>
+ClusterSimulator::churnSchedule() const
+{
+    // Churn schedule: the legacy single-failure pair first, then the
+    // event list, with invalid/drift entries dropped up front so both
+    // executors see the identical filtered sequence. Ordering among
+    // same-time events follows insertion order (duplicate entries tie
+    // on the content key and fall through to the sequence number).
+    std::vector<ChurnEvent> churn;
+    if (cfg.failNodeIndex >= 0 && cfg.failAtSeconds >= 0.0) {
+        churn.push_back({ChurnEvent::Kind::Fail, cfg.failNodeIndex,
+                         cfg.failAtSeconds});
+    }
+    for (const ChurnEvent &event : cfg.churnEvents) {
+        if (event.node < 0 ||
+            event.node >= static_cast<int>(nodes.size()) ||
+            event.atSeconds < 0.0 ||
+            event.kind == ChurnEvent::Kind::Drift)
+            continue;
+        churn.push_back(event);
+    }
+    return churn;
+}
+
+double
+ClusterSimulator::minLinkLatency() const
+{
+    // Minimum propagation latency over every directed link, including
+    // the coordinator rows: the conservative lookahead of the parallel
+    // executor. A zero anywhere means no safe horizon exists and the
+    // run falls back to the serial loop.
+    double best = std::numeric_limits<double>::infinity();
+    const int n = static_cast<int>(nodes.size());
+    for (int from = cluster::kCoordinator; from < n; ++from) {
+        for (int to = cluster::kCoordinator; to < n; ++to) {
+            if (from == to)
+                continue;
+            const LinkState &ls =
+                links[static_cast<size_t>(from + 1) * side + (to + 1)];
+            best = std::min(best, ls.latencyS);
+        }
+    }
+    return best;
+}
+
+void
+ClusterSimulator::runSerialLoop(const std::vector<ChurnEvent> &churn,
+                                double end_time)
+{
+    for (size_t i = 0; i < requests.size(); ++i) {
+        double at = requests[i].request.arrivalS;
+        Event ev;
+        ev.kind = Event::Kind::Arrival;
+        ev.item.request = static_cast<int>(i);
+        scheduleEvent(std::max(at, 0.0), ev);
+    }
+    for (const ChurnEvent &event : churn) {
+        Event ev;
+        ev.kind = event.kind == ChurnEvent::Kind::Fail
+                      ? Event::Kind::NodeFailure
+                      : Event::Kind::NodeRecovery;
+        ev.node = event.node;
+        scheduleEvent(event.atSeconds, ev);
+    }
+
+    while (!events.empty()) {
+        Event top = events.top();
+        if (top.time > end_time)
+            break;
+        events.pop();
+        now = top.time;
+        dispatch(top);
+    }
+    // Drain the queue so a reused simulator starts clean.
+    while (!events.empty())
+        events.pop();
 }
 
 SimMetrics
@@ -802,51 +1003,27 @@ ClusterSimulator::run(const std::vector<trace::Request> &request_list)
         requests.push_back(std::move(rs));
     }
 
-    for (size_t i = 0; i < requests.size(); ++i) {
-        double at = requests[i].request.arrivalS;
-        Event ev;
-        ev.kind = Event::Kind::Arrival;
-        ev.item.request = static_cast<int>(i);
-        scheduleEvent(std::max(at, 0.0), ev);
-    }
-    // Churn schedule: the legacy single-failure pair first, then the
-    // event list. Ordering among same-time events follows insertion
-    // order (the event queue breaks time ties by sequence number).
-    std::vector<ChurnEvent> churn;
-    if (cfg.failNodeIndex >= 0 && cfg.failAtSeconds >= 0.0) {
-        churn.push_back({ChurnEvent::Kind::Fail, cfg.failNodeIndex,
-                         cfg.failAtSeconds});
-    }
-    churn.insert(churn.end(), cfg.churnEvents.begin(),
-                 cfg.churnEvents.end());
-    for (const ChurnEvent &event : churn) {
-        if (event.node < 0 ||
-            event.node >= static_cast<int>(nodes.size()) ||
-            event.atSeconds < 0.0 ||
-            event.kind == ChurnEvent::Kind::Drift)
-            continue;
-        Event ev;
-        ev.kind = event.kind == ChurnEvent::Kind::Fail
-                      ? Event::Kind::NodeFailure
-                      : Event::Kind::NodeRecovery;
-        ev.node = event.node;
-        scheduleEvent(event.atSeconds, ev);
-    }
-
     const double end_time = cfg.warmupSeconds + cfg.measureSeconds;
-    while (!events.empty()) {
-        Event top = events.top();
-        if (top.time > end_time)
-            break;
-        events.pop();
-        now = top.time;
-        dispatch(top);
+    std::vector<ChurnEvent> churn = churnSchedule();
+    // The sharded executor needs a positive conservative lookahead;
+    // single-node clusters and sim_threads <= 1 use the serial loop.
+    const double lambda =
+        cfg.simThreads > 1 ? minLinkLatency() : 0.0;
+    if (cfg.simThreads > 1 && lambda > 0.0 && nodes.size() > 1) {
+        ParallelExecutor executor(*this, cfg.simThreads, lambda,
+                                  churn, end_time);
+        par = &executor;
+        executor.run();
+        par = nullptr;
+    } else {
+        runSerialLoop(churn, end_time);
     }
-    // Drain the queue so a reused simulator starts clean.
-    while (!events.empty())
-        events.pop();
 
     metrics.simulatedSeconds = cfg.measureSeconds;
+    long prompt_tokens = 0;
+    for (const NodeState &state : nodes)
+        prompt_tokens += state.promptTokensInWindow;
+    metrics.promptTokensInWindow = prompt_tokens;
     metrics.decodeThroughput =
         static_cast<double>(metrics.decodeTokensInWindow) /
         cfg.measureSeconds;

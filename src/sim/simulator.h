@@ -56,6 +56,9 @@ class TopologyManager;
 
 namespace sim {
 
+class ParallelExecutor;
+class ParallelLane;
+
 /** One scheduled topology change of the churn scenario. */
 struct ChurnEvent
 {
@@ -179,6 +182,18 @@ struct SimConfig
      * the drift trigger.
      */
     std::vector<double> nodeSlowdown;
+    /**
+     * Worker threads for the sharded event loop (sim/executor.h).
+     * 1 (the default) runs the reference serial loop. Values > 1
+     * partition the compute nodes into a FIXED number of shards
+     * (independent of the thread count) and advance them in
+     * deterministic rounds bounded by the minimum link propagation
+     * latency; the merged outcome is byte-identical to the serial
+     * loop at any thread count. Clusters with a zero-latency link
+     * fall back to the serial loop (no conservative lookahead
+     * window exists).
+     */
+    int simThreads = 1;
 };
 
 /** Per-directed-link congestion statistics (Sec. 6.7 case study). */
@@ -320,6 +335,16 @@ class ClusterSimulator : public scheduler::SchedulerContext
             NodeFailure,
             /** Node rejoins with empty KV and queue (churn). */
             NodeRecovery,
+            /**
+             * Control-plane notification that a finished request's KV
+             * pages at node can be reclaimed (kvBytes of them). Sent
+             * by the coordinator at completion and delivered after the
+             * coordinator->node propagation latency, so KV release is
+             * a message like every other cross-node effect — the
+             * sharded executor relies on no zero-latency writes
+             * between shards.
+             */
+            KvRelease,
         };
 
         double time = 0.0;
@@ -329,20 +354,33 @@ class ClusterSimulator : public scheduler::SchedulerContext
          *  unprofiled multipliers (nodeSlowdown, KV paging). The
          *  ratio model/actual is the drift trigger's speed sample. */
         double modelSeconds = 0.0;
+        double kvBytes = 0.0;      // KvRelease: bytes to reclaim
         WorkItem item;             // WorkDelivery / Arrival / Token
         int node = 0;              // WorkDelivery / BatchDone / Failure
         Kind kind = Kind::Arrival;
     };
+
+    /**
+     * Total order on events: time first, then a CONTENT key (kind,
+     * node, request, stage, epoch), then the scheduling sequence
+     * number as a last-resort tie-break. Two distinct events that can
+     * coexist in a queue always differ in the content key (a request
+     * has at most one in-flight item, a node at most one running
+     * batch), so equal-time ties order identically no matter which
+     * loop — serial or any shard of the parallel executor — created
+     * or queued them. That property, not the seq counter, is what
+     * makes the sharded executor's merge byte-identical to the serial
+     * loop even on symmetric workloads with exact time ties.
+     */
+    static bool eventBefore(const Event &a, const Event &b);
 
     struct EventOrder
     {
         bool
         operator()(const Event &a, const Event &b) const
         {
-            // helix-lint: allow(float-eq) exact event-time tie-break: equal times must fall through to the seq ordering for determinism
-            if (a.time != b.time)
-                return a.time > b.time;
-            return a.seq > b.seq;
+            // priority_queue pops the maximum: invert eventBefore.
+            return eventBefore(b, a);
         }
     };
 
@@ -382,6 +420,14 @@ class ClusterSimulator : public scheduler::SchedulerContext
         long itemsProcessed = 0;
         long tokensProcessed = 0;
         double busySeconds = 0.0;
+        /**
+         * Prompt tokens whose pipeline completed at this node inside
+         * the measurement window. Kept per node (not on SimMetrics)
+         * because finishBatch runs on shard workers in parallel mode;
+         * the integer per-node counters are summed once at the end of
+         * the run, which is exact and order-free.
+         */
+        long promptTokensInWindow = 0;
     };
 
     struct RequestState
@@ -458,6 +504,11 @@ class ClusterSimulator : public scheduler::SchedulerContext
     /** Handle an output token arriving back at the coordinator. */
     void onTokenAtCoordinator(int request, uint32_t epoch);
 
+    /** Reclaim a finished request's KV at @p node (KvRelease). The
+     *  node epoch stamped at send time guards against a failure (and
+     *  possible recovery) while the message was in flight. */
+    void applyKvRelease(int node, double bytes, uint32_t node_epoch);
+
     /** Fail @p node: drop its work, restart affected requests. */
     void onNodeFailure(int node);
 
@@ -479,9 +530,22 @@ class ClusterSimulator : public scheduler::SchedulerContext
      * Drift check after a batch on @p node: once the throughput EWMA
      * has matured, a node observed below plannedFlow * (1 - threshold)
      * has its compute capacity shrunk to the observed rate and the
-     * topology re-solved (SimConfig::driftThreshold).
+     * topology re-solved (SimConfig::driftThreshold). In parallel
+     * mode the node-local precheck runs on the shard worker and the
+     * resolve itself is deferred as a probe to the coordinator phase,
+     * which replays probes interleaved with its own events in event
+     * order — the scheduler and topology manager stay confined to the
+     * round-driver thread.
      */
     void maybeDriftResolve(int node);
+
+    /** Node-local half of the drift check (no topology state read). */
+    bool driftCheckLocal(int node) const;
+
+    /** Coordinator half: planned-vs-observed comparison + re-solve.
+     *  @p ewma_speed is the node's speed EWMA sampled when the
+     *  triggering batch finished. */
+    void applyDriftResolve(int node, double ewma_speed);
 
     /** Current context length of a request (prompt + generated). */
     double contextLen(const RequestState &rs) const;
@@ -490,6 +554,34 @@ class ClusterSimulator : public scheduler::SchedulerContext
     bool inWindow(double t) const;
 
     LinkState &linkState(int from, int to);
+
+    /**
+     * Simulation time as seen by the executing context: the member
+     * clock in the serial loop and during barrier steps, the owning
+     * lane's clock on a shard worker or in the coordinator phase.
+     * Every handler reads time through this accessor.
+     */
+    double curTime() const;
+
+    /** Minimum propagation latency over all directed links — the
+     *  conservative lookahead window of the parallel executor. */
+    double minLinkLatency() const;
+
+    /** Merged + filtered churn schedule (legacy pair first, then the
+     *  event list, stably ordered by time). */
+    std::vector<ChurnEvent> churnSchedule() const;
+
+    /** The original single-threaded event loop (also the reference
+     *  the differential harness compares the executor against). */
+    void runSerialLoop(const std::vector<ChurnEvent> &churn,
+                       double end_time);
+
+    /** Coordinator-visible node state, read through the parallel
+     *  executor's mirror during the coordinator phase so scheduler
+     *  feedback reflects exactly the node events that precede the
+     *  current event in the serial order. */
+    int nodeInFlightView(int node) const;
+    bool nodeBusyView(int node) const;
 
     const cluster::ClusterSpec &clusterRef;
     const cluster::Profiler &profiler;
@@ -517,6 +609,33 @@ class ClusterSimulator : public scheduler::SchedulerContext
     std::unique_ptr<scheduler::TopologyManager> topoManager;
 
     SimMetrics metrics;
+
+    /**
+     * Active parallel executor, set only while a sharded run is in
+     * flight; scheduleEvent routes through it and the Scheduler-
+     * Context views read its coordinator mirror. Null in serial runs,
+     * so the serial path is exactly the original loop.
+     */
+    ParallelExecutor *par = nullptr;
+    /**
+     * Lane the calling thread is currently executing (its clock and
+     * routing context). Thread-local because shard workers run the
+     * same handler code concurrently on disjoint lanes; null on
+     * threads not inside a lane (serial loop, barrier steps).
+     */
+    static thread_local ParallelLane *tlsLane;
+    /**
+     * Sole mutation point for tlsLane, defined in simulator.cpp so
+     * every store uses local-exec TLS addressing. Cross-TU stores
+     * from executor.cpp went through GCC's initial-exec TLS wrapper,
+     * whose UBSan null-address check misfires at -O2 (observed with
+     * GCC 12.2 under -fsanitize=address,undefined); confining the
+     * stores to the defining TU keeps the sanitizer jobs clean.
+     */
+    static void setTlsLane(ParallelLane *lane);
+
+    friend class ParallelExecutor;
+    friend class ParallelLane;
 };
 
 } // namespace sim

@@ -16,11 +16,25 @@ rotl(uint64_t x, int k)
 
 } // namespace
 
-Rng::Rng(uint64_t seed)
+Rng::Rng(uint64_t seed) : seed0(seed)
 {
     SplitMix64 sm(seed);
     for (auto &word : s)
         word = sm.next();
+}
+
+Rng
+Rng::fork(uint64_t stream) const
+{
+    // Domain-separated child seed: offset a SplitMix64 walk over the
+    // construction seed by the stream id. The xor constant keeps the
+    // fork domain away from the parent's own state expansion (which
+    // consumes the first outputs of SplitMix64(seed0) directly), and
+    // the golden-ratio stride is SplitMix64's own increment, so
+    // stream k reads slot k of an independent seed sequence.
+    uint64_t base = seed0 ^ 0x6a09e667f3bcc909ULL;
+    SplitMix64 sm(base + stream * 0x9e3779b97f4a7c15ULL);
+    return Rng(sm.next());
 }
 
 uint64_t

@@ -53,6 +53,18 @@ class Rng
     /** Construct from a seed; the state is expanded via SplitMix64. */
     explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL);
 
+    /**
+     * Split off an independent child stream. The child's seed is
+     * derived from this generator's CONSTRUCTION seed and @p stream
+     * through a domain-separated SplitMix64 step, never from the
+     * current state: fork(i) returns the same generator no matter how
+     * many values the parent has drawn, in which order the forks
+     * happen, or which thread calls it. Distinct stream ids yield
+     * decorrelated sequences (per-shard streams in the parallel
+     * simulator executor).
+     */
+    [[nodiscard]] Rng fork(uint64_t stream) const;
+
     /** Next raw 64-bit value. */
     [[nodiscard]] uint64_t nextU64();
 
@@ -97,6 +109,8 @@ class Rng
 
   private:
     uint64_t s[4];
+    /** Construction seed, retained so fork() is state-independent. */
+    uint64_t seed0;
 };
 
 } // namespace helix

@@ -16,6 +16,23 @@ StatAccumulator::add(double value)
     total += value;
 }
 
+void
+StatAccumulator::merge(const StatAccumulator &other)
+{
+    if (other.samples.empty())
+        return;
+    samples.insert(samples.end(), other.samples.begin(),
+                   other.samples.end());
+    sorted = false;
+    // Canonical re-summation: summing the merged multiset in sorted
+    // order makes the total a function of the samples alone, not of
+    // the merge order.
+    ensureSorted();
+    total = 0.0;
+    for (double v : samples)
+        total += v;
+}
+
 double
 StatAccumulator::mean() const
 {
@@ -118,6 +135,19 @@ Histogram::add(double value)
         return;
     }
     ++counts[static_cast<size_t>(offset)];
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    // helix-lint: allow(float-eq) merge requires bit-identical bin bounds; approximately-equal bins would misattribute counts
+    HELIX_ASSERT(lo == other.lo && hi == other.hi &&
+                 counts.size() == other.counts.size());
+    for (size_t i = 0; i < counts.size(); ++i)
+        counts[i] += other.counts[i];
+    below += other.below;
+    above += other.above;
+    total += other.total;
 }
 
 size_t

@@ -929,6 +929,103 @@ TEST(SpecEngine, ThreadCountInvariant)
     }
 }
 
+// --- sim-threads: grammar, round trip, and result invariance --------
+
+TEST(SpecErrors, SimThreadsGrammar)
+{
+    expectSpecError("experiment v1\nsim-threads\n", 2,
+                    "'sim-threads' needs 1 argument(s): sim-threads "
+                    "<count>");
+    expectSpecError("experiment v1\nsim-threads 0\n", 2,
+                    "sim-threads must be a positive integer, got '0'");
+    expectSpecError("experiment v1\nsim-threads -4\n", 2,
+                    "sim-threads must be a positive integer, "
+                    "got '-4'");
+    expectSpecError("experiment v1\nsim-threads banana\n", 2,
+                    "sim-threads must be a positive integer, "
+                    "got 'banana'");
+    expectSpecError("experiment v1\nsim-threads 2\nsim-threads 4\n",
+                    3,
+                    "duplicate 'sim-threads' directive (first on "
+                    "line 2)");
+}
+
+TEST(SpecRoundTrip, SimThreadsWorkedExamplePinnedByteForByte)
+{
+    // The worked example from docs/FILE_FORMATS.md, pinned in its
+    // canonical form: parse -> serialize must reproduce these exact
+    // bytes, and the default (1) must stay omitted on emission.
+    const std::string canonical = "experiment v1\n"
+                                  "name sim-threads-example\n"
+                                  "output json\n"
+                                  "sim-threads 4\n"
+                                  "seed 7\n"
+                                  "warmup 10\n"
+                                  "measure 60\n"
+                                  "planner-budget 0.5\n"
+                                  "cluster gen:geo-distributed:64\n"
+                                  "model llama30b\n"
+                                  "planner swarm\n"
+                                  "scheduler helix\n"
+                                  "scenario offline\n";
+    io::ParseError error;
+    auto spec = io::experimentFromString(canonical, error);
+    ASSERT_TRUE(spec.has_value()) << error.message;
+    EXPECT_EQ(spec->simThreads, 4);
+    EXPECT_EQ(io::experimentToString(*spec), canonical);
+
+    // Default sim-threads is not emitted.
+    auto plain = io::experimentFromString("experiment v1\n"
+                                          "cluster planner10\n"
+                                          "model llama30b\n"
+                                          "planner swarm\n"
+                                          "scheduler helix\n"
+                                          "scenario offline\n");
+    ASSERT_TRUE(plain.has_value());
+    EXPECT_EQ(plain->simThreads, 1);
+    EXPECT_EQ(io::experimentToString(*plain).find("sim-threads"),
+              std::string::npos);
+}
+
+TEST(SpecEngine, SimThreadsInvariant)
+{
+    // sim-threads is a wall-clock knob only: the sharded executor
+    // must reproduce the serial loop's metrics exactly, through the
+    // full spec-driven path (trace generation, scheduler, emitters).
+    const std::string base = "experiment v1\n"
+                             "warmup 1\nmeasure 2\n"
+                             "planner-budget 0.05\n"
+                             "cluster planner10\nmodel llama30b\n"
+                             "planner swarm\n"
+                             "scheduler helix\n"
+                             "scenario offline\n"
+                             "scenario churn node=0 at=0.5 online=0 "
+                             "repair=1\n";
+    auto serial_spec = io::experimentFromString(base);
+    auto parallel_spec =
+        io::experimentFromString("experiment v1\nsim-threads 4\n" +
+                                 base.substr(base.find('\n') + 1));
+    ASSERT_TRUE(serial_spec && parallel_spec);
+    EXPECT_EQ(serial_spec->simThreads, 1);
+    EXPECT_EQ(parallel_spec->simThreads, 4);
+    auto a = exp::runSpec(*serial_spec, nullptr, {});
+    auto b = exp::runSpec(*parallel_spec, nullptr, {});
+    ASSERT_TRUE(a && b);
+    ASSERT_EQ(a->size(), b->size());
+    for (size_t i = 0; i < a->size(); ++i) {
+        EXPECT_EQ(a->at(i).label, b->at(i).label);
+        expectMetricsIdentical(a->at(i).metrics, b->at(i).metrics);
+    }
+    // Emitter bytes (the wall clock is the one legitimate delta).
+    std::vector<exp::JobResult> ra = *a;
+    std::vector<exp::JobResult> rb = *b;
+    for (auto *rows : {&ra, &rb})
+        for (exp::JobResult &row : *rows)
+            row.wallSeconds = 0.0;
+    EXPECT_EQ(exp::resultsToJson(ra), exp::resultsToJson(rb));
+    EXPECT_EQ(exp::resultsToCsv(ra), exp::resultsToCsv(rb));
+}
+
 /** runSpec refuses invalid specs through the same validate path. */
 TEST(SpecEngine, RejectsInvalidSpecWithError)
 {
