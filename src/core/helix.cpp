@@ -124,10 +124,12 @@ makeTrace(const Deployment &deployment, const RunConfig &config)
     if (kind == ArrivalKind::Auto)
         kind = config.online ? ArrivalKind::Diurnal
                              : ArrivalKind::Poisson;
+    std::vector<trace::Request> requests;
     switch (kind) {
       case ArrivalKind::Diurnal: {
         trace::DiurnalArrivals arrivals(rate, 0.25, 1800.0);
-        return generator.generate(duration, arrivals);
+        requests = generator.generate(duration, arrivals);
+        break;
       }
       case ArrivalKind::Bursty: {
         // Solve for the base rate so the MMPP's long-run mean equals
@@ -139,14 +141,47 @@ makeTrace(const Deployment &deployment, const RunConfig &config)
         trace::BurstyArrivals arrivals(base, config.burstMultiplier,
                                        config.burstMeanS,
                                        config.burstGapS);
-        return generator.generate(duration, arrivals);
+        requests = generator.generate(duration, arrivals);
+        break;
       }
       case ArrivalKind::Auto:
-      case ArrivalKind::Poisson:
+      case ArrivalKind::Poisson: {
+        trace::PoissonArrivals arrivals(rate);
+        requests = generator.generate(duration, arrivals);
         break;
+      }
     }
-    trace::PoissonArrivals arrivals(rate);
-    return generator.generate(duration, arrivals);
+    // Tenant labels, drawn from a DEDICATED forked stream (never the
+    // generator's) and only when tenancy is active: arrival times and
+    // lengths consume exactly the same draws as before, so traces of
+    // runs without tenants (or with one) stay byte-identical.
+    if (config.tenants.size() >= 2 && !requests.empty()) {
+        // Mixes are all-or-none (the spec parser enforces it and that
+        // they sum to 1); unset mixes fall back weight-proportional.
+        std::vector<double> cumulative(config.tenants.size(), 0.0);
+        bool explicit_mix = config.tenants.front().mix >= 0.0;
+        double total = 0.0;
+        for (const scheduler::Tenant &tenant : config.tenants)
+            total += explicit_mix ? tenant.mix : tenant.weight;
+        double acc = 0.0;
+        for (size_t t = 0; t < config.tenants.size(); ++t) {
+            acc += (explicit_mix ? config.tenants[t].mix
+                                 : config.tenants[t].weight) /
+                   total;
+            cumulative[t] = acc;
+        }
+        Rng tenant_rng = Rng(config.seed).fork(0x74656e616e74ULL);
+        for (trace::Request &req : requests) {
+            double u = tenant_rng.nextDouble();
+            int t = 0;
+            while (t + 1 < static_cast<int>(cumulative.size()) &&
+                   u >= cumulative[static_cast<size_t>(t)]) {
+                ++t;
+            }
+            req.tenant = t;
+        }
+    }
+    return requests;
 }
 
 sim::SimMetrics
@@ -165,6 +200,9 @@ runExperiment(const Deployment &deployment,
     sim_config.driftThreshold = config.driftThreshold;
     sim_config.nodeSlowdown = config.nodeSlowdown;
     sim_config.simThreads = config.simThreads;
+    sim_config.tenants = config.tenants;
+    sim_config.starvationTolerance = config.starvationTolerance;
+    sim_config.preemptionTimeoutS = config.preemptionTimeoutS;
     sim::ClusterSimulator simulator(
         deployment.clusterSpec(), deployment.profiler(),
         deployment.placement(), scheduler, sim_config);

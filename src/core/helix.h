@@ -23,6 +23,7 @@
 #include "cluster/profiler.h"
 #include "placement/helix_planner.h"
 #include "placement/planners.h"
+#include "scheduler/fair_share.h"
 #include "scheduler/scheduler.h"
 #include "sim/simulator.h"
 #include "trace/trace.h"
@@ -162,6 +163,17 @@ struct RunConfig
      *  (sim::SimConfig::simThreads). 1 = reference serial loop; any
      *  value yields byte-identical results. */
     int simThreads = 1;
+    /** Tenant classes for fair-share serving. Two or more activate
+     *  admission arbitration and tenant-labeled trace generation
+     *  (sim::SimConfig::tenants); fewer keep the pre-tenancy path
+     *  byte-identical. */
+    std::vector<scheduler::Tenant> tenants;
+    /** Fair-share starvation tolerance in [0, 1]
+     *  (sim::SimConfig::starvationTolerance). */
+    double starvationTolerance = 0.8;
+    /** Continuous starvation seconds before a preemption
+     *  (sim::SimConfig::preemptionTimeoutS). */
+    double preemptionTimeoutS = 5.0;
 };
 
 /**

@@ -5,7 +5,9 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <exception>
 #include <limits>
+#include <mutex>
 #include <sstream>
 #include <thread>
 
@@ -125,26 +127,41 @@ ExperimentRunner::runTasks(
                                       : std::max(1, hw);
     workers = std::min<int>(workers, static_cast<int>(tasks.size()));
 
+    // A task that throws must surface to the caller, not
+    // std::terminate the pool thread: capture the first exception
+    // (later ones are dropped), let the workers drain, and rethrow
+    // after the joins. The single-worker path goes through the same
+    // machinery so both modes report the same (first) exception.
     std::atomic<size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
     auto worker = [&]() {
         for (;;) {
             size_t i = next.fetch_add(1);
             if (i >= tasks.size())
                 return;
-            tasks[i]();
+            try {
+                tasks[i]();
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
         }
     };
 
     if (workers == 1) {
         worker();
-        return;
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (int w = 0; w < workers; ++w)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
     }
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (int w = 0; w < workers; ++w)
-        pool.emplace_back(worker);
-    for (std::thread &t : pool)
-        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
 }
 
 std::vector<JobResult>
@@ -315,6 +332,46 @@ formatChurnEvents(const sim::SimMetrics &metrics)
     return out;
 }
 
+/**
+ * Compact per-tenant log, one ';'-separated record per tenant:
+ * "alpha:w=2:tput=123.4:arr=10:adm=8:done=7:rej=2:pre=1:ttft=0.95:tpot=-".
+ * Attainments print "-" when no SLO was declared (or no samples).
+ */
+std::string
+formatTenantStats(const sim::SimMetrics &metrics)
+{
+    std::string out;
+    for (const sim::SimMetrics::TenantStat &t : metrics.tenantStats) {
+        if (!out.empty())
+            out += ';';
+        out += t.name;
+        out += ":w=" + num(t.weight);
+        out += ":tput=" + num(t.decodeThroughput);
+        out += ":arr=" + std::to_string(t.requestsArrived);
+        out += ":adm=" + std::to_string(t.requestsAdmitted);
+        out += ":done=" + std::to_string(t.requestsCompleted);
+        out += ":rej=" + std::to_string(t.requestsRejected);
+        out += ":pre=" + std::to_string(t.requestsPreempted);
+        out += ":ttft=";
+        out += t.ttftAttainment >= 0.0 ? num(t.ttftAttainment) : "-";
+        out += ":tpot=";
+        out += t.tpotAttainment >= 0.0 ? num(t.tpotAttainment) : "-";
+    }
+    return out;
+}
+
+/** Whether any result carries per-tenant statistics. The tenant
+ *  emitter fields are gated on this so single-tenant output stays
+ *  byte-identical to the pre-tenancy emitters. */
+bool
+anyTenantStats(const std::vector<JobResult> &results)
+{
+    return std::any_of(results.begin(), results.end(),
+                       [](const JobResult &r) {
+                           return !r.metrics.tenantStats.empty();
+                       });
+}
+
 /** The flat metric columns shared by the JSON and CSV emitters. */
 struct MetricColumn
 {
@@ -459,6 +516,44 @@ resultsToJson(const std::vector<JobResult> &results)
             out << ", \"" << col.name << "\": "
                 << (std::isnan(value) ? "null" : num(value));
         }
+        if (!r.metrics.tenantStats.empty()) {
+            out << ", \"requests_preempted\": "
+                << r.metrics.requestsPreempted
+                << ", \"jain_index\": " << num(r.metrics.jainIndex)
+                << ", \"tenants\": [";
+            for (size_t t = 0; t < r.metrics.tenantStats.size();
+                 ++t) {
+                const sim::SimMetrics::TenantStat &stat =
+                    r.metrics.tenantStats[t];
+                out << (t == 0 ? "" : ", ") << "{\"name\": \""
+                    << jsonEscape(stat.name)
+                    << "\", \"weight\": " << num(stat.weight)
+                    << ", \"decode_throughput\": "
+                    << num(stat.decodeThroughput)
+                    << ", \"requests_arrived\": "
+                    << stat.requestsArrived
+                    << ", \"requests_admitted\": "
+                    << stat.requestsAdmitted
+                    << ", \"requests_completed\": "
+                    << stat.requestsCompleted
+                    << ", \"requests_rejected\": "
+                    << stat.requestsRejected
+                    << ", \"requests_preempted\": "
+                    << stat.requestsPreempted
+                    << ", \"slo_ttft\": " << num(stat.sloTtftS)
+                    << ", \"slo_tpot\": " << num(stat.sloTpotS)
+                    << ", \"ttft_attainment\": "
+                    << (stat.ttftAttainment >= 0.0
+                            ? num(stat.ttftAttainment)
+                            : "null")
+                    << ", \"tpot_attainment\": "
+                    << (stat.tpotAttainment >= 0.0
+                            ? num(stat.tpotAttainment)
+                            : "null")
+                    << "}";
+            }
+            out << "]";
+        }
         out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
     }
     out << "]\n";
@@ -469,6 +564,7 @@ std::string
 resultsToCsv(const std::vector<JobResult> &results)
 {
     std::ostringstream out;
+    bool tenancy = anyTenantStats(results);
     bool first = true;
     for (const StringColumn &col : kStringColumns) {
         out << (first ? "" : ",") << col.name;
@@ -477,6 +573,8 @@ resultsToCsv(const std::vector<JobResult> &results)
     out << ",churn_events";
     for (const MetricColumn &col : kColumns)
         out << ',' << col.name;
+    if (tenancy)
+        out << ",requests_preempted,jain_index,tenant_stats";
     out << '\n';
     for (const JobResult &r : results) {
         auto quoted = [&out](const std::string &field) {
@@ -506,6 +604,11 @@ resultsToCsv(const std::vector<JobResult> &results)
             // fake 0.
             if (!std::isnan(value))
                 out << num(value);
+        }
+        if (tenancy) {
+            out << ',' << r.metrics.requestsPreempted << ','
+                << num(r.metrics.jainIndex) << ',';
+            quoted(formatTenantStats(r.metrics));
         }
         out << '\n';
     }

@@ -279,6 +279,23 @@ scenarioRunConfig(const io::ExperimentSpec &spec,
     // Purely a wall-clock knob: the sharded executor is byte-identical
     // to the serial loop, so sim-threads never alters results.
     run.simThreads = spec.simThreads;
+    // Tenancy: two or more tenant lines activate fair-share admission
+    // and tenant-labeled trace generation; zero or one leaves the run
+    // byte-identical to the pre-tenancy path.
+    if (spec.tenants.size() >= 2) {
+        run.tenants.reserve(spec.tenants.size());
+        for (const io::TenantSpec &tenant : spec.tenants) {
+            scheduler::Tenant cls;
+            cls.name = tenant.name;
+            cls.weight = tenant.weight;
+            cls.mix = tenant.mix;
+            cls.sloTtftS = tenant.sloTtftS;
+            cls.sloTpotS = tenant.sloTpotS;
+            run.tenants.push_back(std::move(cls));
+        }
+        run.starvationTolerance = spec.starvationTolerance;
+        run.preemptionTimeoutS = spec.preemptionTimeoutS;
+    }
     if (scenario.kind == "online-peak") {
         // Sec. 6.2: the online arrival rate is `fraction` of the
         // measured offline peak, in requests/s of mean output length.

@@ -1,9 +1,12 @@
 #include "io/spec.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <sstream>
+
+#include "core/params.h"
 
 namespace helix {
 namespace io {
@@ -39,19 +42,15 @@ scenarioKinds()
 std::vector<std::string>
 scenarioOptionKeys(const std::string &kind)
 {
-    std::vector<std::string> keys = {"seed", "warmup", "measure"};
-    if (kind == "offline" || kind == "online") {
-        keys.push_back("utilization");
-    } else if (kind == "bursty") {
-        keys.insert(keys.end(),
-                    {"utilization", "multiplier", "burst", "gap"});
-    } else if (kind == "churn") {
-        keys.insert(keys.end(), {"utilization", "node", "at", "online",
-                                 "fail", "recover", "repair", "drift"});
-    } else if (kind == "online-peak") {
-        keys.push_back("fraction");
-    }
-    return keys;
+    // Declaration order in core::specParams() is pinned: it decides
+    // the "(known: ...)" error messages golden-tested in test_spec.
+    return core::specParams().keysInScope("scenario:" + kind);
+}
+
+std::vector<std::string>
+tenantOptionKeys()
+{
+    return core::specParams().keysInScope("tenant");
 }
 
 namespace {
@@ -81,6 +80,12 @@ experimentToString(const ExperimentSpec &spec)
     out << "warmup " << num(spec.warmupS) << "\n";
     out << "measure " << num(spec.measureS) << "\n";
     out << "planner-budget " << num(spec.plannerBudgetS) << "\n";
+    if (!spec.tenants.empty()) {
+        out << "starvation-tolerance " << num(spec.starvationTolerance)
+            << "\n";
+        out << "preemption-timeout " << num(spec.preemptionTimeoutS)
+            << "\n";
+    }
     for (const SpecName &name : spec.clusters)
         out << "cluster " << name.value << "\n";
     for (const SpecName &name : spec.models)
@@ -92,6 +97,17 @@ experimentToString(const ExperimentSpec &spec)
     for (const SystemSpec &system : spec.systems) {
         out << "system " << system.label << " " << system.planner
             << " " << system.scheduler << "\n";
+    }
+    for (const TenantSpec &tenant : spec.tenants) {
+        out << "tenant " << tenant.name
+            << " weight=" << num(tenant.weight);
+        if (tenant.mix >= 0.0)
+            out << " mix=" << num(tenant.mix);
+        if (tenant.sloTtftS > 0.0)
+            out << " slo-ttft=" << num(tenant.sloTtftS);
+        if (tenant.sloTpotS > 0.0)
+            out << " slo-tpot=" << num(tenant.sloTpotS);
+        out << "\n";
     }
     for (const ScenarioSpec &scenario : spec.scenarios) {
         out << "scenario " << scenario.kind;
@@ -134,72 +150,81 @@ experimentFromString(const std::string &text, ParseError &error)
                                     " argument(s): " + usage};
         return false;
     };
+    // One top-level scalar directive, resolved through the validated
+    // parameter registry: kind, range, and the pinned error message
+    // all come from the declaration in core::specParams().
+    auto handle_scalar = [&](const core::Param &param,
+                             const std::vector<std::string> &toks,
+                             int line) {
+        const std::string &key = param.key();
+        if (!want_args(toks, 1, param.usageText()) ||
+            !scalar_once(key, line))
+            return false;
+        const std::string &raw = toks[1];
+        switch (param.kind()) {
+          case core::ParamKind::String: {
+            if (!param.checkText(raw)) {
+                error = {line, param.formatError(raw)};
+                return false;
+            }
+            if (key == "name")
+                spec.name = raw;
+            else
+                spec.output = raw;
+            return true;
+          }
+          case core::ParamKind::Int: {
+            int value = 0;
+            if (!parseInt(raw, value) || !param.check(value)) {
+                error = {line, param.formatError(raw)};
+                return false;
+            }
+            if (key == "threads")
+                spec.threads = value;
+            else
+                spec.simThreads = value;
+            return true;
+          }
+          case core::ParamKind::UInt64: {
+            uint64_t value = 0;
+            if (!parseU64(raw, value)) {
+                error = {line, param.formatError(raw)};
+                return false;
+            }
+            spec.seed = value;
+            return true;
+          }
+          default: {
+            double value = 0.0;
+            if (!parseDouble(raw, value) || !param.check(value)) {
+                error = {line, param.formatError(raw)};
+                return false;
+            }
+            if (key == "warmup")
+                spec.warmupS = value;
+            else if (key == "measure")
+                spec.measureS = value;
+            else if (key == "planner-budget")
+                spec.plannerBudgetS = value;
+            else if (key == "starvation-tolerance")
+                spec.starvationTolerance = value;
+            else
+                spec.preemptionTimeoutS = value;
+            return true;
+          }
+        }
+    };
 
     while (reader.next()) {
         const auto &toks = reader.tokens();
         const std::string &tag = toks[0];
         const int line = reader.line();
-        if (tag == "name") {
-            if (!want_args(toks, 1, "name <identifier>") ||
-                !scalar_once(tag, line))
+        const core::Param *top_param = core::specParams().find(tag);
+        if (top_param != nullptr &&
+            top_param->kind() != core::ParamKind::Structural &&
+            top_param->inScope("top")) {
+            if (!handle_scalar(*top_param, toks, line))
                 return std::nullopt;
-            spec.name = toks[1];
-        } else if (tag == "output") {
-            if (!want_args(toks, 1, "output <csv|json>") ||
-                !scalar_once(tag, line))
-                return std::nullopt;
-            if (toks[1] != "csv" && toks[1] != "json") {
-                error = {line, "output must be 'csv' or 'json', got '" +
-                                   toks[1] + "'"};
-                return std::nullopt;
-            }
-            spec.output = toks[1];
-        } else if (tag == "threads") {
-            if (!want_args(toks, 1, "threads <count>") ||
-                !scalar_once(tag, line))
-                return std::nullopt;
-            if (!parseInt(toks[1], spec.threads) || spec.threads < 0) {
-                error = {line, "threads must be a non-negative "
-                               "integer, got '" + toks[1] + "'"};
-                return std::nullopt;
-            }
-        } else if (tag == "sim-threads") {
-            if (!want_args(toks, 1, "sim-threads <count>") ||
-                !scalar_once(tag, line))
-                return std::nullopt;
-            if (!parseInt(toks[1], spec.simThreads) ||
-                spec.simThreads < 1) {
-                error = {line, "sim-threads must be a positive "
-                               "integer, got '" + toks[1] + "'"};
-                return std::nullopt;
-            }
-        } else if (tag == "seed") {
-            if (!want_args(toks, 1, "seed <uint64>") ||
-                !scalar_once(tag, line))
-                return std::nullopt;
-            if (!parseU64(toks[1], spec.seed)) {
-                error = {line, "seed must be an unsigned integer, "
-                               "got '" + toks[1] + "'"};
-                return std::nullopt;
-            }
-        } else if (tag == "warmup" || tag == "measure" ||
-                   tag == "planner-budget") {
-            if (!want_args(toks, 1, "<seconds>") ||
-                !scalar_once(tag, line))
-                return std::nullopt;
-            double value = 0.0;
-            if (!parseDouble(toks[1], value) || value < 0.0) {
-                error = {line, "'" + tag + "' must be a non-negative "
-                               "number of seconds, got '" + toks[1] +
-                               "'"};
-                return std::nullopt;
-            }
-            if (tag == "warmup")
-                spec.warmupS = value;
-            else if (tag == "measure")
-                spec.measureS = value;
-            else
-                spec.plannerBudgetS = value;
         } else if (tag == "cluster" || tag == "model" ||
                    tag == "planner" || tag == "scheduler") {
             if (!want_args(toks, 1, tag + " <registry-name>"))
@@ -346,6 +371,79 @@ experimentFromString(const std::string &text, ParseError &error)
                 }
             }
             spec.scenarios.push_back(std::move(scenario));
+        } else if (tag == "tenant") {
+            if (toks.size() < 2) {
+                error = {line, "'tenant' needs a name: tenant <name> "
+                               "[key=value ...]"};
+                return std::nullopt;
+            }
+            TenantSpec tenant;
+            tenant.name = toks[1];
+            tenant.line = line;
+            for (const TenantSpec &existing : spec.tenants) {
+                if (existing.name == tenant.name) {
+                    error = {line,
+                             "duplicate tenant '" + tenant.name +
+                                 "' (first on line " +
+                                 std::to_string(existing.line) + ")"};
+                    return std::nullopt;
+                }
+            }
+            bool saw_weight = false;
+            std::vector<std::string> seen_keys;
+            for (size_t i = 2; i < toks.size(); ++i) {
+                size_t eq = toks[i].find('=');
+                if (eq == std::string::npos || eq == 0) {
+                    error = {line, "tenant option '" + toks[i] +
+                                       "' is not key=value"};
+                    return std::nullopt;
+                }
+                std::string key = toks[i].substr(0, eq);
+                const core::Param *opt = core::specParams().find(key);
+                if (opt == nullptr || !opt->inScope("tenant")) {
+                    error = {line,
+                             "tenant '" + tenant.name +
+                                 "' does not take option '" + key +
+                                 "' (known: " +
+                                 joinNames(tenantOptionKeys()) + ")"};
+                    return std::nullopt;
+                }
+                if (std::find(seen_keys.begin(), seen_keys.end(),
+                              opt->key()) != seen_keys.end()) {
+                    error = {line, "duplicate tenant option '" +
+                                       opt->key() + "'"};
+                    return std::nullopt;
+                }
+                seen_keys.push_back(opt->key());
+                const std::string raw = toks[i].substr(eq + 1);
+                double value = 0.0;
+                if (!parseDouble(raw, value)) {
+                    error = {line, "tenant option '" + opt->key() +
+                                       "' has non-numeric value '" +
+                                       raw + "'"};
+                    return std::nullopt;
+                }
+                if (!opt->check(value)) {
+                    error = {line, opt->formatError(raw)};
+                    return std::nullopt;
+                }
+                if (opt->key() == "weight") {
+                    tenant.weight = value;
+                    saw_weight = true;
+                } else if (opt->key() == "mix") {
+                    tenant.mix = value;
+                } else if (opt->key() == "slo-ttft") {
+                    tenant.sloTtftS = value;
+                } else {
+                    tenant.sloTpotS = value;
+                }
+            }
+            if (!saw_weight) {
+                error = {line, "tenant '" + tenant.name +
+                                   "' requires weight=<w>"};
+                return std::nullopt;
+            }
+            spec.tenants.push_back(std::move(tenant));
         } else {
             error = {line, "unknown directive '" + tag + "'"};
             return std::nullopt;
@@ -390,6 +488,30 @@ experimentFromString(const std::string &text, ParseError &error)
             error = {scenario.line,
                      "online-peak needs an earlier offline scenario "
                      "to derive its arrival rate from"};
+            return std::nullopt;
+        }
+    }
+    int mixes = 0;
+    for (const TenantSpec &tenant : spec.tenants) {
+        if (tenant.mix >= 0.0)
+            ++mixes;
+    }
+    if (mixes > 0) {
+        for (const TenantSpec &tenant : spec.tenants) {
+            if (tenant.mix < 0.0) {
+                error = {tenant.line,
+                         "tenant '" + tenant.name +
+                             "' needs mix=<fraction>: arrival mixes "
+                             "are all-or-none"};
+                return std::nullopt;
+            }
+        }
+        double sum = 0.0;
+        for (const TenantSpec &tenant : spec.tenants)
+            sum += tenant.mix;
+        if (std::fabs(sum - 1.0) > 1e-9) {
+            error = {spec.tenants.front().line,
+                     "tenant mixes must sum to 1, got " + num(sum)};
             return std::nullopt;
         }
     }

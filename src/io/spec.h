@@ -91,6 +91,38 @@ struct ChurnEventSpec
     }
 };
 
+/**
+ * One `tenant <name> weight=<w> [mix=<f>] [slo-ttft=<s>]
+ * [slo-tpot=<s>]` line (fair-share serving; see docs/SCENARIOS.md).
+ */
+struct TenantSpec
+{
+    std::string name;
+    /** Fair-share weight (> 0; see core::specParams()). */
+    double weight = 1.0;
+    /** Arrival-mix fraction in [0, 1]; negative = unset (defaults to
+     *  weight-proportional at run time). If any tenant declares a
+     *  mix, all must, and they must sum to 1. */
+    double mix = -1.0;
+    /** Time-to-first-token SLO in seconds; 0 = no SLO declared. */
+    double sloTtftS = 0.0;
+    /** Time-per-output-token SLO in seconds; 0 = no SLO declared. */
+    double sloTpotS = 0.0;
+    int line = 0;
+
+    bool operator==(const TenantSpec &other) const
+    {
+        if (name != other.name)
+            return false;
+        // helix-lint: allow(float-eq) structural equality of parsed specs: identical text must parse bit-identically
+        return weight == other.weight && mix == other.mix &&
+               // helix-lint: allow(float-eq) same: parsed-literal bit equality
+               sloTtftS == other.sloTtftS &&
+               // helix-lint: allow(float-eq) same: parsed-literal bit equality
+               sloTpotS == other.sloTpotS;
+    }
+};
+
 /** One `scenario <kind> [key=value ...]` line. */
 struct ScenarioSpec
 {
@@ -125,6 +157,16 @@ struct ExperimentSpec
     double measureS = 120.0;
     /** Wall-clock budget handed to budgeted planners. */
     double plannerBudgetS = 2.0;
+    /** Fair-share starvation tolerance in [0, 1]: a demanding tenant
+     *  below this fraction of its fair share is starving. */
+    double starvationTolerance = 0.8;
+    /** Seconds a tenant may starve before an over-share tenant's
+     *  newest in-flight request is preempted. */
+    double preemptionTimeoutS = 5.0;
+
+    /** Declared tenants (empty = single implicit tenant; the
+     *  simulation path is byte-identical to pre-tenancy). */
+    std::vector<TenantSpec> tenants;
 
     std::vector<SpecName> clusters;
     std::vector<SpecName> models;
@@ -158,6 +200,9 @@ struct ExperimentSpec
 
 /** Option keys accepted by @p kind (common keys included). */
 [[nodiscard]] std::vector<std::string> scenarioOptionKeys(const std::string &kind);
+
+/** Option keys accepted by `tenant` lines. */
+[[nodiscard]] std::vector<std::string> tenantOptionKeys();
 
 } // namespace io
 } // namespace helix

@@ -128,6 +128,14 @@ ParallelExecutor::laneOf(const Event &event) const
 void
 ParallelExecutor::route(Event event, ParallelLane *from)
 {
+    if (event.kind == Event::Kind::Preempt) {
+        // Preemptions execute as dynamic serial barriers (see the
+        // member comment). Scheduled one lambda after the decision,
+        // so the event always lies at or beyond the current round's
+        // horizon — holding it here cannot skip anything.
+        pendingPreempts.push_back(event);
+        return;
+    }
     const int target = laneOf(event);
     if (from == nullptr) {
         // Barrier step (no lane executing): push directly — everything
@@ -421,6 +429,21 @@ ParallelExecutor::runBarrier(double when)
         event.seq = churn_seq++;
         batch.push_back(event);
     }
+    // Due preemptions join the same batch; distinct preempts always
+    // differ in item.request, so eventBefore orders them without the
+    // sequence fallback (Preempt ranks after every other kind at the
+    // same time, matching the serial priority queue).
+    size_t keep = 0;
+    for (size_t i = 0; i < pendingPreempts.size(); ++i) {
+        Event event = pendingPreempts[i];
+        if (event.time <= when) {
+            event.seq = churn_seq++;
+            batch.push_back(event);
+        } else {
+            pendingPreempts[keep++] = pendingPreempts[i];
+        }
+    }
+    pendingPreempts.resize(keep);
     std::stable_sort(batch.begin(), batch.end(),
                      ClusterSimulator::eventBefore);
 
@@ -455,18 +478,24 @@ ParallelExecutor::run()
         }
         const double churn_at =
             churnIdx < churn.size() ? churn[churnIdx].atSeconds : inf;
-        if (next > endTime && churn_at > endTime)
+        // Barriers come in two flavors: the static churn schedule and
+        // dynamically scheduled preemptions; the earliest one bounds
+        // the round.
+        double barrier_at = churn_at;
+        for (const Event &event : pendingPreempts)
+            barrier_at = std::min(barrier_at, event.time);
+        if (next > endTime && barrier_at > endTime)
             break;
-        if (churn_at <= next) {
-            // Rounds never span a churn time: execute it (and any
+        if (barrier_at <= next) {
+            // Rounds never span a barrier time: execute it (and any
             // events at exactly that time) as a serial barrier step.
-            runBarrier(churn_at);
+            runBarrier(barrier_at);
             refreshMirror();
             continue;
         }
         // Conservative round: every event below the horizon is causally
         // closed — any message it sends arrives at >= next + lambda.
-        horizon = std::min(next + lambda, churn_at);
+        horizon = std::min(next + lambda, barrier_at);
         runNodePhase();
         runCoordinatorPhase();
         flushOutboxes();
@@ -479,6 +508,7 @@ ParallelExecutor::run()
             lane.queue.pop();
         lane.outbox.clear();
     }
+    pendingPreempts.clear();
 }
 
 } // namespace sim

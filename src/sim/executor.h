@@ -215,6 +215,15 @@ class ParallelExecutor
     double endTime;
     std::vector<ChurnEvent> churn;
     size_t churnIdx = 0;
+    /**
+     * Fair-share Preempt events held by the executor instead of any
+     * lane: a preemption tears down state across shards (KV at every
+     * pipeline stage, queued work at live nodes), so it runs as a
+     * serial barrier step exactly like churn — but its time is only
+     * known when the coordinator schedules it (decision + lambda),
+     * hence a dynamic list rather than a pre-sorted schedule.
+     */
+    std::vector<Event> pendingPreempts;
 
     std::vector<ParallelLane> lanes; // [0] = coordinator
     int numShards = 0;

@@ -208,6 +208,13 @@ ClusterSimulator::nodeAlive(int node) const
 void
 ClusterSimulator::tryAdmit()
 {
+    if (fair != nullptr) {
+        // Tenancy active: admission is arbitrated per tenant class.
+        // The single-queue loop below stays byte-identical for runs
+        // without tenants.
+        tryAdmitFair();
+        return;
+    }
     while (!pending.empty()) {
         long active = metrics.requestsAdmitted -
                       metrics.requestsCompleted;
@@ -274,6 +281,145 @@ ClusterSimulator::tryAdmit()
             transferDelivery(cluster::kCoordinator, first_node, bytes),
             ev);
     }
+}
+
+int
+ClusterSimulator::tenantOf(int request_index) const
+{
+    const int t =
+        requests[static_cast<size_t>(request_index)].request.tenant;
+    if (fair == nullptr || t < 0 || t >= fair->numTenants())
+        return 0;
+    return t;
+}
+
+void
+ClusterSimulator::tryAdmitFair()
+{
+    const double tnow = curTime();
+    for (;;) {
+        long active = metrics.requestsAdmitted -
+                      metrics.requestsCompleted;
+        if (cfg.maxActiveRequests > 0 &&
+            active >= cfg.maxActiveRequests) {
+            break; // Engine-level KV backpressure.
+        }
+        // The most under-share demanding tenant goes first; tenants
+        // over share beyond tolerance are held while anyone else sits
+        // below share (weighted max-min, scheduler/fair_share.h).
+        int idx = fair->popNext(tnow);
+        if (idx < 0)
+            break; // Every queue is empty or held.
+        int t = tenantOf(idx);
+        RequestState &rs = requests[static_cast<size_t>(idx)];
+        auto pipeline = sched.schedule(rs.request, *this);
+        if (!pipeline) {
+            // Same can-never-serve inference as the single-queue
+            // path: reject only when the idle, fully-alive cluster
+            // provably cannot serve this request; otherwise hold the
+            // backlog (head of its tenant's queue).
+            bool idle = true;
+            bool any_dead = false;
+            for (size_t node = 0; node < nodes.size(); ++node) {
+                if (nodes[node].dead) {
+                    any_dead = true;
+                } else if (nodeBusyView(static_cast<int>(node)) ||
+                           nodeInFlightView(static_cast<int>(node)) >
+                               0) {
+                    idle = false;
+                    break;
+                }
+            }
+            long still_active = metrics.requestsAdmitted -
+                                metrics.requestsCompleted;
+            if (idle && !any_dead && still_active <= 0) {
+                ++metrics.requestsRejected;
+                ++metrics.tenantStats[static_cast<size_t>(t)]
+                      .requestsRejected;
+                continue;
+            }
+            fair->requeueFront(t, idx);
+            break;
+        }
+        HELIX_ASSERT(scheduler::pipelineValid(
+            *pipeline, profiler.modelSpec().numLayers));
+        rs.pipeline = std::move(*pipeline);
+        rs.kvWritten.assign(rs.pipeline.size(), 0.0);
+        rs.admitted = true;
+        ++metrics.requestsAdmitted;
+        ++metrics.tenantStats[static_cast<size_t>(t)]
+              .requestsAdmitted;
+        fair->onAdmitted(t);
+        sched.onRequestAdmitted(rs.request, rs.pipeline);
+        int first_node = rs.pipeline.front().node;
+        double bytes = static_cast<double>(rs.request.promptLen) *
+                       profiler.tokenBytes();
+        Event ev;
+        ev.kind = Event::Kind::WorkDelivery;
+        ev.node = first_node;
+        ev.item = WorkItem{idx, 0, rs.request.promptLen, rs.epoch,
+                           true, true};
+        scheduleEvent(
+            transferDelivery(cluster::kCoordinator, first_node, bytes),
+            ev);
+    }
+    maybeSchedulePreempt();
+}
+
+void
+ClusterSimulator::maybeSchedulePreempt()
+{
+    if (fair == nullptr)
+        return;
+    const double tnow = curTime();
+    int victim_class = fair->checkPreemption(tnow);
+    if (victim_class < 0)
+        return;
+    // Newest admitted request of the victim class (LIFO victim
+    // choice, like ytsaurus's preempt-newest-jobs: the newest request
+    // has the least sunk prefill work to throw away). Request indices
+    // follow arrival order, so scan from the back.
+    int victim = -1;
+    for (size_t i = requests.size(); i > 0; --i) {
+        const RequestState &rs = requests[i - 1];
+        if (!rs.admitted || rs.finished || rs.preemptScheduled)
+            continue;
+        if (tenantOf(static_cast<int>(i - 1)) != victim_class)
+            continue;
+        victim = static_cast<int>(i - 1);
+        break;
+    }
+    if (victim < 0)
+        return;
+    requests[static_cast<size_t>(victim)].preemptScheduled = true;
+    // One preemption delay out: far enough that the parallel
+    // executor's current round (horizon <= decision time + lambda)
+    // never straddles it, so the preemption runs as a serial barrier
+    // in every mode.
+    Event ev;
+    ev.kind = Event::Kind::Preempt;
+    ev.item.request = victim;
+    ev.item.epoch = requests[static_cast<size_t>(victim)].epoch;
+    scheduleEvent(tnow + preemptDelayS, ev);
+}
+
+void
+ClusterSimulator::applyPreempt(const Event &event)
+{
+    const int idx = event.item.request;
+    RequestState &rs = requests[static_cast<size_t>(idx)];
+    rs.preemptScheduled = false;
+    if (rs.finished || !rs.admitted || rs.epoch != event.item.epoch)
+        return; // Finished or torn down since the decision: stale.
+    const int t = tenantOf(idx);
+    restartRequest(idx, -1);
+    ++metrics.requestsPreempted;
+    ++metrics.tenantStats[static_cast<size_t>(t)].requestsPreempted;
+    purgeStaleQueuedWork();
+    // Head of its tenant's queue: the request is re-admitted first
+    // once its tenant is back within share.
+    fair->requeueFront(t, idx);
+    tryAdmit();
 }
 
 double
@@ -584,6 +730,11 @@ ClusterSimulator::onTokenAtCoordinator(int request, uint32_t epoch)
         return; // Token from a pipeline that was torn down by churn.
     const double tnow = curTime();
     ++rs.generated;
+    // Fair-share usage is charged per physically generated token —
+    // including churn/preemption regeneration, which consumes real
+    // capacity just the same.
+    if (fair != nullptr)
+        fair->noteDecodeToken(tenantOf(request), tnow);
     // After a churn restart the pipeline regenerates tokens it had
     // already delivered; only tokens beyond the high-water mark are
     // new output.
@@ -602,9 +753,26 @@ ClusterSimulator::onTokenAtCoordinator(int request, uint32_t epoch)
         if (!rs.restartedEver && inWindow(tnow) &&
             inWindow(rs.request.arrivalS)) {
             metrics.promptLatency.add(tnow - rs.request.arrivalS);
+            if (fair != nullptr) {
+                // Per-tenant TTFT SLO sample, same mixed-window and
+                // restart guards as the latency distribution.
+                SimMetrics::TenantStat &stat =
+                    metrics.tenantStats[static_cast<size_t>(
+                        tenantOf(request))];
+                if (stat.sloTtftS > 0.0) {
+                    ++stat.ttftSamples;
+                    if (tnow - rs.request.arrivalS <= stat.sloTtftS)
+                        ++stat.ttftMet;
+                }
+            }
         }
     } else if (new_token && inWindow(tnow)) {
         ++metrics.decodeTokensInWindow;
+        if (fair != nullptr) {
+            ++metrics
+                  .tenantStats[static_cast<size_t>(tenantOf(request))]
+                  .decodeTokensInWindow;
+        }
     }
 
     if (rs.generated >= rs.request.outputLen) {
@@ -618,6 +786,12 @@ ClusterSimulator::onTokenAtCoordinator(int request, uint32_t epoch)
         rs.finishTime = tnow;
         rs.finished = true;
         ++metrics.requestsCompleted;
+        if (fair != nullptr) {
+            int t = tenantOf(request);
+            ++metrics.tenantStats[static_cast<size_t>(t)]
+                  .requestsCompleted;
+            fair->onFinished(t);
+        }
         for (size_t s = 0; s < rs.pipeline.size(); ++s) {
             int stage_node = rs.pipeline[s].node;
             Event ev;
@@ -644,9 +818,19 @@ ClusterSimulator::onTokenAtCoordinator(int request, uint32_t epoch)
         // failure and recovery, not steady-state decode.
         if (!rs.restartedEver && rs.request.outputLen > 1 &&
             inWindow(rs.finishTime) && inWindow(rs.firstTokenTime)) {
-            metrics.decodeLatency.add(
-                (rs.finishTime - rs.firstTokenTime) /
-                (rs.request.outputLen - 1));
+            double tpot = (rs.finishTime - rs.firstTokenTime) /
+                          (rs.request.outputLen - 1);
+            metrics.decodeLatency.add(tpot);
+            if (fair != nullptr) {
+                SimMetrics::TenantStat &stat =
+                    metrics.tenantStats[static_cast<size_t>(
+                        tenantOf(request))];
+                if (stat.sloTpotS > 0.0) {
+                    ++stat.tpotSamples;
+                    if (tpot <= stat.sloTpotS)
+                        ++stat.tpotMet;
+                }
+            }
         }
         tryAdmit();
         return;
@@ -662,6 +846,12 @@ ClusterSimulator::onTokenAtCoordinator(int request, uint32_t epoch)
     scheduleEvent(transferDelivery(cluster::kCoordinator, first_node,
                                    profiler.tokenBytes()),
                   ev);
+    // Starvation check on every delivered token: preemption decisions
+    // ride the coordinator's natural cadence. May preempt the very
+    // request whose next decode was just scheduled — the epoch bump
+    // then makes that delivery stale.
+    if (fair != nullptr)
+        maybeSchedulePreempt();
 }
 
 void
@@ -710,6 +900,9 @@ ClusterSimulator::resolveTopology(int node, ChurnEvent::Kind kind)
                                   cfg.repairTopology
                                       ? ResolveKind::Repair
                                       : ResolveKind::Cold});
+    // Fair shares divide the LIVE serving capacity.
+    if (fair != nullptr)
+        fair->setCapacity(flow);
 }
 
 bool
@@ -753,6 +946,8 @@ ClusterSimulator::applyDriftResolve(int node, double ewma_speed)
     metrics.flowEvents.push_back({curTime(), node,
                                   ChurnEvent::Kind::Drift, flow,
                                   ResolveKind::Drift});
+    if (fair != nullptr)
+        fair->setCapacity(flow);
 }
 
 void
@@ -814,27 +1009,50 @@ ClusterSimulator::onNodeFailure(int node)
         }
         if (!affected)
             continue;
-        for (size_t s = 0; s < rs.pipeline.size(); ++s) {
-            if (rs.pipeline[s].node == node)
-                continue;
-            NodeState &state = nodes[rs.pipeline[s].node];
-            state.kvUsed =
-                std::max(0.0, state.kvUsed - rs.kvWritten[s]);
-        }
-        sched.onRequestFinished(rs.request, rs.pipeline);
-        rs.admitted = false;
-        rs.restartedEver = true;
-        rs.generated = 0;
-        rs.firstTokenTime = -1.0;
-        ++rs.epoch;
-        --metrics.requestsAdmitted; // It will be admitted again.
+        restartRequest(static_cast<int>(i), node);
         ++metrics.requestsRestarted;
         restarted.push_back(static_cast<int>(i));
     }
-    for (auto it = restarted.rbegin(); it != restarted.rend(); ++it)
-        pending.push_front(*it);
+    for (auto it = restarted.rbegin(); it != restarted.rend(); ++it) {
+        if (fair != nullptr)
+            fair->requeueFront(tenantOf(*it), *it);
+        else
+            pending.push_front(*it);
+    }
 
-    // Purge work of restarted requests still queued at live nodes.
+    purgeStaleQueuedWork();
+    tryAdmit();
+}
+
+void
+ClusterSimulator::restartRequest(int request_index, int skip_node)
+{
+    RequestState &rs = requests[static_cast<size_t>(request_index)];
+    // Release exactly what this request wrote at each live stage; the
+    // skipped (failed) node's KV was already wiped wholesale. One
+    // request's teardown can never drain KV accounted to others.
+    for (size_t s = 0; s < rs.pipeline.size(); ++s) {
+        if (rs.pipeline[s].node == skip_node)
+            continue;
+        NodeState &state = nodes[rs.pipeline[s].node];
+        state.kvUsed = std::max(0.0, state.kvUsed - rs.kvWritten[s]);
+        rs.kvWritten[s] = 0.0;
+    }
+    sched.onRequestFinished(rs.request, rs.pipeline);
+    if (fair != nullptr)
+        fair->onPreempted(tenantOf(request_index));
+    rs.admitted = false;
+    rs.restartedEver = true;
+    rs.generated = 0;
+    rs.firstTokenTime = -1.0;
+    ++rs.epoch;
+    --metrics.requestsAdmitted; // It will be admitted again.
+}
+
+void
+ClusterSimulator::purgeStaleQueuedWork()
+{
+    // Purge work of torn-down requests still queued at live nodes.
     for (NodeState &state : nodes) {
         if (state.dead || state.queue.empty())
             continue;
@@ -850,7 +1068,6 @@ ClusterSimulator::onNodeFailure(int node)
             static_cast<int>(before - state.queue.size());
         HELIX_ASSERT(state.inFlight >= 0);
     }
-    tryAdmit();
 }
 
 void
@@ -888,7 +1105,14 @@ ClusterSimulator::dispatch(const Event &event)
     switch (event.kind) {
       case Event::Kind::Arrival:
         ++metrics.requestsArrived;
-        pending.push_back(event.item.request);
+        if (fair != nullptr) {
+            int t = tenantOf(event.item.request);
+            ++metrics.tenantStats[static_cast<size_t>(t)]
+                  .requestsArrived;
+            fair->enqueue(t, event.item.request);
+        } else {
+            pending.push_back(event.item.request);
+        }
         tryAdmit();
         break;
       case Event::Kind::WorkDelivery:
@@ -909,6 +1133,9 @@ ClusterSimulator::dispatch(const Event &event)
         break;
       case Event::Kind::KvRelease:
         applyKvRelease(event.node, event.kvBytes, event.item.epoch);
+        break;
+      case Event::Kind::Preempt:
+        applyPreempt(event);
         break;
     }
 }
@@ -1003,6 +1230,37 @@ ClusterSimulator::run(const std::vector<trace::Request> &request_list)
         requests.push_back(std::move(rs));
     }
 
+    if (cfg.tenants.size() >= 2) {
+        scheduler::FairShareController::Config fc;
+        fc.tenants = cfg.tenants;
+        fc.starvationTolerance = cfg.starvationTolerance;
+        fc.preemptionTimeoutS = cfg.preemptionTimeoutS;
+        fc.usageTauS = cfg.throughputEwmaTauS;
+        fair = std::make_unique<scheduler::FairShareController>(
+            std::move(fc));
+        // Preemption decisions take effect one minimum link latency
+        // later — the same conservative window the parallel executor
+        // rounds on, so a Preempt event is always beyond the horizon
+        // of the round that scheduled it.
+        preemptDelayS = minLinkLatency();
+        if (!std::isfinite(preemptDelayS))
+            preemptDelayS = 0.0;
+        // Shares divide the live serving capacity: the topology
+        // manager's current max-flow, re-fed on every churn or drift
+        // re-solve.
+        fair->setCapacity(topologyManager().currentFlow());
+        metrics.tenantStats.resize(cfg.tenants.size());
+        for (size_t t = 0; t < cfg.tenants.size(); ++t) {
+            SimMetrics::TenantStat &stat = metrics.tenantStats[t];
+            stat.name = cfg.tenants[t].name;
+            stat.weight = cfg.tenants[t].weight;
+            stat.sloTtftS = cfg.tenants[t].sloTtftS;
+            stat.sloTpotS = cfg.tenants[t].sloTpotS;
+        }
+    } else {
+        fair.reset();
+    }
+
     const double end_time = cfg.warmupSeconds + cfg.measureSeconds;
     std::vector<ChurnEvent> churn = churnSchedule();
     // The sharded executor needs a positive conservative lookahead;
@@ -1057,6 +1315,38 @@ ClusterSimulator::run(const std::vector<trace::Request> &request_list)
         for (const LinkState &ls : links) {
             if (ls.stat.transfers > 0)
                 metrics.linkStats.push_back(ls.stat);
+        }
+    }
+    if (fair != nullptr) {
+        double sum = 0.0;
+        double sum_sq = 0.0;
+        for (SimMetrics::TenantStat &stat : metrics.tenantStats) {
+            stat.decodeThroughput =
+                static_cast<double>(stat.decodeTokensInWindow) /
+                cfg.measureSeconds;
+            if (stat.sloTtftS > 0.0 && stat.ttftSamples > 0) {
+                stat.ttftAttainment =
+                    static_cast<double>(stat.ttftMet) /
+                    static_cast<double>(stat.ttftSamples);
+            }
+            if (stat.sloTpotS > 0.0 && stat.tpotSamples > 0) {
+                stat.tpotAttainment =
+                    static_cast<double>(stat.tpotMet) /
+                    static_cast<double>(stat.tpotSamples);
+            }
+            double x = stat.weight > 0.0
+                           ? stat.decodeThroughput / stat.weight
+                           : 0.0;
+            sum += x;
+            sum_sq += x * x;
+        }
+        // Jain index over weight-normalized throughput: 1.0 when
+        // every tenant gets throughput proportional to its weight.
+        if (sum_sq > 0.0) {
+            metrics.jainIndex =
+                sum * sum /
+                (static_cast<double>(metrics.tenantStats.size()) *
+                 sum_sq);
         }
     }
     return metrics;

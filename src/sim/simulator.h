@@ -44,6 +44,7 @@
 #include "cluster/cluster.h"
 #include "cluster/profiler.h"
 #include "placement/placement.h"
+#include "scheduler/fair_share.h"
 #include "scheduler/scheduler.h"
 #include "trace/trace.h"
 #include "util/stats.h"
@@ -194,6 +195,21 @@ struct SimConfig
      * window exists).
      */
     int simThreads = 1;
+    /**
+     * Tenant classes for fair-share admission arbitration
+     * (scheduler::FairShareController). Fewer than two entries keeps
+     * the original single-queue admission path — runs without
+     * tenants (or with one) are byte-identical to pre-tenancy
+     * behavior at every simThreads count.
+     */
+    std::vector<scheduler::Tenant> tenants;
+    /** Fair-share starvation tolerance in [0, 1] (see
+     *  FairShareController::Config). */
+    double starvationTolerance = 0.8;
+    /** Continuous starvation seconds before an over-share tenant's
+     *  newest in-flight request is preempted; negative disables
+     *  preemption. */
+    double preemptionTimeoutS = 5.0;
 };
 
 /** Per-directed-link congestion statistics (Sec. 6.7 case study). */
@@ -234,6 +250,9 @@ struct SimMetrics
     long requestsRejected = 0;
     /** Requests restarted because a node failed mid-run. */
     long requestsRestarted = 0;
+    /** Requests preempted by fair-share arbitration (restarted from
+     *  the prompt once their tenant is back within share). */
+    long requestsPreempted = 0;
     /**
      * One entry per applied topology re-solve: scheduled churn events
      * (fail/recover) and drift-triggered capacity shrinks, with the
@@ -268,6 +287,47 @@ struct SimMetrics
         double kvUtilization = 0.0;
     };
     std::vector<NodeStat> nodeStats;
+
+    /**
+     * Per-tenant serving statistics; populated only when fair-share
+     * tenancy is active (two or more SimConfig::tenants), empty
+     * otherwise so single-tenant metrics stay identical to the
+     * pre-tenancy simulator.
+     */
+    struct TenantStat
+    {
+        std::string name;
+        double weight = 1.0;
+        long requestsArrived = 0;
+        long requestsAdmitted = 0;
+        long requestsCompleted = 0;
+        long requestsRejected = 0;
+        long requestsPreempted = 0;
+        /** Decode tokens generated inside the measurement window. */
+        long decodeTokensInWindow = 0;
+        /** decodeTokensInWindow / measured seconds. */
+        double decodeThroughput = 0.0;
+        /** Declared SLOs (0 = none declared). */
+        double sloTtftS = 0.0;
+        double sloTpotS = 0.0;
+        /** SLO attainment over in-window samples (same windowing as
+         *  promptLatency / decodeLatency); -1 = no SLO declared or no
+         *  samples. */
+        double ttftAttainment = -1.0;
+        double tpotAttainment = -1.0;
+        long ttftSamples = 0;
+        long ttftMet = 0;
+        long tpotSamples = 0;
+        long tpotMet = 0;
+    };
+    std::vector<TenantStat> tenantStats;
+    /**
+     * Jain fairness index over weight-normalized per-tenant decode
+     * throughput x_t = decodeThroughput_t / weight_t:
+     * J = (sum x)^2 / (n * sum x^2), 1.0 = perfectly fair. 0 when
+     * tenancy is inactive or no tenant produced tokens.
+     */
+    double jainIndex = 0.0;
 };
 
 /**
@@ -345,6 +405,19 @@ class ClusterSimulator : public scheduler::SchedulerContext
              * between shards.
              */
             KvRelease,
+            /**
+             * Fair-share preemption of item.request takes effect: the
+             * request's work is dropped and its KV released through
+             * the epoch-safe restart machinery, and it rejoins the
+             * head of its tenant's admission queue. Scheduled one
+             * preemption delay (the minimum link latency) after the
+             * decision so the parallel executor can run it as a
+             * serial barrier, like churn. item.epoch is the request
+             * epoch at decision time; a mismatch (or a finished
+             * request) makes the event a stale no-op. Appended last
+             * so existing kinds keep their eventBefore ranks.
+             */
+            Preempt,
         };
 
         double time = 0.0;
@@ -455,6 +528,9 @@ class ClusterSimulator : public scheduler::SchedulerContext
         uint32_t epoch = 0;
         double firstTokenTime = -1.0;
         double finishTime = -1.0;
+        /** A Preempt event for this request is in flight; suppresses
+         *  duplicate victim selection until it lands. */
+        bool preemptScheduled = false;
     };
 
     struct LinkState
@@ -481,6 +557,38 @@ class ClusterSimulator : public scheduler::SchedulerContext
 
     /** Try to admit pending requests through the scheduler. */
     void tryAdmit();
+
+    /** Fair-share admission: pull from the most under-share tenant's
+     *  queue until the scheduler refuses or the active cap binds.
+     *  Runs instead of the FIFO loop when tenancy is active. */
+    void tryAdmitFair();
+
+    /** Tenant class of a request (clamped to the declared range). */
+    int tenantOf(int request_index) const;
+
+    /** Starvation sweep: when the controller names a victim class,
+     *  schedule a Preempt event for its newest in-flight request one
+     *  preemption delay from now. */
+    void maybeSchedulePreempt();
+
+    /** Apply a Preempt event (epoch-safe; stale events no-op). */
+    void applyPreempt(const Event &event);
+
+    /**
+     * Tear an admitted request back down to the admission queue: the
+     * shared core of churn restarts and preemption. Releases exactly
+     * RequestState::kvWritten at every live pipeline stage (skipping
+     * @p skip_node, the failed node whose state was wiped wholesale;
+     * -1 skips none), notifies the scheduler, bumps the request
+     * epoch so in-flight work and messages go stale, and resets
+     * generation progress (peakGenerated keeps regenerated tokens
+     * from double-counting).
+     */
+    void restartRequest(int request_index, int skip_node);
+
+    /** Drop queued work items whose request epoch went stale (after
+     *  restartRequest), fixing up per-node inFlight. */
+    void purgeStaleQueuedWork();
 
     /**
      * Account a transfer of @p bytes over (from, to) and return its
@@ -607,6 +715,18 @@ class ClusterSimulator : public scheduler::SchedulerContext
      * so its lifetime stays independent of the simulator's.
      */
     std::unique_ptr<scheduler::TopologyManager> topoManager;
+
+    /**
+     * Fair-share admission arbiter, created per run() when two or
+     * more tenants are configured; null otherwise, leaving the
+     * original single-queue admission path (and its byte-exact
+     * behavior) untouched.
+     */
+    std::unique_ptr<scheduler::FairShareController> fair;
+    /** Decision-to-effect delay of a preemption: the minimum link
+     *  propagation latency, so Preempt events always land beyond the
+     *  parallel executor's current round horizon. */
+    double preemptDelayS = 0.0;
 
     SimMetrics metrics;
 

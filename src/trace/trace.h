@@ -34,6 +34,9 @@ struct Request
     int promptLen = 0;
     /** Output length in tokens (unknown to the system until EOS). */
     int outputLen = 0;
+    /** Tenant class index for fair-share serving; 0 in single-tenant
+     *  traces (the default keeps existing traces valid unchanged). */
+    int tenant = 0;
 };
 
 /** Length-distribution parameters for the synthetic trace. */

@@ -9,6 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <functional>
+#include <stdexcept>
 
 #include "exp/experiment.h"
 
@@ -160,6 +163,42 @@ TEST(ExperimentRunner, ResultsIndependentOfThreadCount)
         EXPECT_EQ(serial_results[i].label, parallel_results[i].label);
         expectMetricsIdentical(serial_results[i].metrics,
                                parallel_results[i].metrics);
+    }
+}
+
+/**
+ * A task that throws inside a pool worker used to std::terminate the
+ * process (the exception escaped the worker thread's stack). The
+ * runner must capture the first exception, drain the remaining
+ * tasks, and rethrow it to the caller — identically on the
+ * single-worker inline path and the threaded path.
+ */
+TEST(ExperimentRunner, TaskExceptionsPropagateToCaller)
+{
+    for (int threads : {1, 4}) {
+        RunnerOptions options;
+        options.numThreads = threads;
+        ExperimentRunner runner(options);
+        std::atomic<int> ran{0};
+        std::vector<std::function<void()>> tasks;
+        for (int i = 0; i < 16; ++i) {
+            tasks.push_back([&ran, i]() {
+                ++ran;
+                if (i == 3)
+                    throw std::runtime_error("task 3 failed");
+            });
+        }
+        try {
+            runner.runTasks(tasks);
+            FAIL() << "expected the task exception to propagate "
+                      "(numThreads="
+                   << threads << ")";
+        } catch (const std::runtime_error &error) {
+            EXPECT_STREQ(error.what(), "task 3 failed")
+                << "numThreads=" << threads;
+        }
+        // The failure must not strand unfinished tasks.
+        EXPECT_EQ(ran.load(), 16) << "numThreads=" << threads;
     }
 }
 
@@ -349,6 +388,96 @@ TEST(Emitters, ZeroSampleStatsAndChurnEventsPinned)
         "\"requests_admitted\": 0, \"requests_completed\": 0, "
         "\"requests_rejected\": 0, \"requests_restarted\": 0, "
         "\"avg_kv_utilization\": 0, \"wall_seconds\": 0}\n"
+        "]\n");
+}
+
+/**
+ * The exact bytes both emitters produce for a multi-tenant result.
+ * The tenant columns are gated on per-tenant statistics being
+ * present (ZeroSampleStatsAndChurnEventsPinned above pins that a
+ * result WITHOUT tenants emits the original columns unchanged), and
+ * undeclared SLO attainments render as "-" in CSV and null in JSON.
+ */
+TEST(Emitters, TenantColumnsPinned)
+{
+    JobResult r;
+    r.label = "mt";
+    r.cluster = "c";
+    r.model = "m";
+    r.planner = "p";
+    r.scheduler = "s";
+    r.arrivals = "poisson";
+    r.metrics.requestsPreempted = 3;
+    r.metrics.jainIndex = 0.9375;
+    sim::SimMetrics::TenantStat alpha;
+    alpha.name = "alpha";
+    alpha.weight = 2.0;
+    alpha.decodeThroughput = 100.5;
+    alpha.requestsArrived = 10;
+    alpha.requestsAdmitted = 8;
+    alpha.requestsCompleted = 7;
+    alpha.requestsRejected = 2;
+    alpha.requestsPreempted = 1;
+    alpha.sloTtftS = 2.0;
+    alpha.ttftAttainment = 0.75;
+    sim::SimMetrics::TenantStat beta;
+    beta.name = "beta";
+    beta.weight = 1.0;
+    beta.decodeThroughput = 50.25;
+    beta.requestsArrived = 5;
+    beta.requestsAdmitted = 5;
+    beta.requestsCompleted = 5;
+    beta.requestsPreempted = 2;
+    r.metrics.tenantStats = {alpha, beta};
+
+    EXPECT_EQ(
+        resultsToCsv({r}),
+        "label,cluster,model,planner,scheduler,arrivals,churn_events,"
+        "planned_throughput,decode_throughput,prompt_throughput,"
+        "prompt_latency_mean,prompt_latency_p50,prompt_latency_p95,"
+        "prompt_latency_p99,decode_latency_mean,decode_latency_p50,"
+        "decode_latency_p95,decode_latency_p99,requests_arrived,"
+        "requests_admitted,requests_completed,requests_rejected,"
+        "requests_restarted,avg_kv_utilization,wall_seconds,"
+        "requests_preempted,jain_index,tenant_stats\n"
+        "\"mt\",\"c\",\"m\",\"p\",\"s\",\"poisson\",\"\","
+        "0,0,0,,,,,,,,,0,0,0,0,0,0,0,"
+        "3,0.9375,"
+        "\"alpha:w=2:tput=100.5:arr=10:adm=8:done=7:rej=2:pre=1:"
+        "ttft=0.75:tpot=-;"
+        "beta:w=1:tput=50.25:arr=5:adm=5:done=5:rej=0:pre=2:"
+        "ttft=-:tpot=-\"\n");
+
+    EXPECT_EQ(
+        resultsToJson({r}),
+        "[\n"
+        "  {\"label\": \"mt\", \"cluster\": \"c\", "
+        "\"model\": \"m\", \"planner\": \"p\", \"scheduler\": \"s\", "
+        "\"arrivals\": \"poisson\", \"churn_events\": [], "
+        "\"planned_throughput\": 0, \"decode_throughput\": 0, "
+        "\"prompt_throughput\": 0, \"prompt_latency_mean\": null, "
+        "\"prompt_latency_p50\": null, \"prompt_latency_p95\": null, "
+        "\"prompt_latency_p99\": null, \"decode_latency_mean\": null, "
+        "\"decode_latency_p50\": null, \"decode_latency_p95\": null, "
+        "\"decode_latency_p99\": null, \"requests_arrived\": 0, "
+        "\"requests_admitted\": 0, \"requests_completed\": 0, "
+        "\"requests_rejected\": 0, \"requests_restarted\": 0, "
+        "\"avg_kv_utilization\": 0, \"wall_seconds\": 0, "
+        "\"requests_preempted\": 3, \"jain_index\": 0.9375, "
+        "\"tenants\": ["
+        "{\"name\": \"alpha\", \"weight\": 2, "
+        "\"decode_throughput\": 100.5, \"requests_arrived\": 10, "
+        "\"requests_admitted\": 8, \"requests_completed\": 7, "
+        "\"requests_rejected\": 2, \"requests_preempted\": 1, "
+        "\"slo_ttft\": 2, \"slo_tpot\": 0, "
+        "\"ttft_attainment\": 0.75, \"tpot_attainment\": null}, "
+        "{\"name\": \"beta\", \"weight\": 1, "
+        "\"decode_throughput\": 50.25, \"requests_arrived\": 5, "
+        "\"requests_admitted\": 5, \"requests_completed\": 5, "
+        "\"requests_rejected\": 0, \"requests_preempted\": 2, "
+        "\"slo_ttft\": 0, \"slo_tpot\": 0, "
+        "\"ttft_attainment\": null, \"tpot_attainment\": null}"
+        "]}\n"
         "]\n");
 }
 

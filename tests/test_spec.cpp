@@ -10,8 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <string>
 
+#include "core/params.h"
 #include "exp/spec.h"
 #include "io/serialization.h"
 #include "io/spec.h"
@@ -1024,6 +1026,268 @@ TEST(SpecEngine, SimThreadsInvariant)
             row.wallSeconds = 0.0;
     EXPECT_EQ(exp::resultsToJson(ra), exp::resultsToJson(rb));
     EXPECT_EQ(exp::resultsToCsv(ra), exp::resultsToCsv(rb));
+}
+
+// --- Parameter registry (core/params.h) -----------------------------
+
+TEST(SpecRegistry, DuplicateParameterDeclarationThrows)
+{
+    core::ParamRegistry registry;
+    registry.parameter("alpha", core::ParamKind::Double);
+    EXPECT_THROW(registry.parameter("alpha", core::ParamKind::Int),
+                 std::logic_error);
+    try {
+        registry.parameter("alpha", core::ParamKind::Int);
+        FAIL() << "expected std::logic_error";
+    } catch (const std::logic_error &error) {
+        EXPECT_STREQ(error.what(),
+                     "duplicate parameter declaration 'alpha'");
+    }
+    // An alias reserves its name too: a later key that collides with
+    // an existing alias is a declaration bug, not a lookup miss.
+    registry.parameter("beta", core::ParamKind::Double).alias("b");
+    EXPECT_THROW(registry.parameter("b", core::ParamKind::Double),
+                 std::logic_error);
+}
+
+TEST(SpecRegistry, AliasResolvesToCanonicalParam)
+{
+    core::ParamRegistry registry;
+    registry.parameter("gamma", core::ParamKind::Double).alias("g");
+    const core::Param *via_alias = registry.find("g");
+    ASSERT_NE(via_alias, nullptr);
+    EXPECT_EQ(via_alias->key(), "gamma");
+    EXPECT_EQ(registry.find("gamma"), via_alias);
+    EXPECT_EQ(registry.find("delta"), nullptr);
+}
+
+TEST(SpecRegistry, SpecKnobEnumerationPinned)
+{
+    // Declaration order is load-bearing: keysInScope() feeds the
+    // pinned "(known: ...)" parse errors, so this list may only ever
+    // grow at the end.
+    const std::vector<std::string> top = {
+        "name",          "output",
+        "threads",       "sim-threads",
+        "seed",          "warmup",
+        "measure",       "planner-budget",
+        "starvation-tolerance", "preemption-timeout",
+        "cluster",       "model",
+        "planner",       "scheduler",
+        "system",        "scenario",
+        "tenant",
+    };
+    EXPECT_EQ(core::specParams().keysInScope("top"), top);
+    const std::vector<std::string> tenant = {"weight", "mix",
+                                             "slo-ttft", "slo-tpot"};
+    EXPECT_EQ(core::specParams().keysInScope("tenant"), tenant);
+    EXPECT_EQ(io::tenantOptionKeys(), tenant);
+}
+
+TEST(SpecRegistry, RangeChecksMatchDeclaredBounds)
+{
+    const core::Param *mix = core::specParams().find("mix");
+    ASSERT_NE(mix, nullptr);
+    EXPECT_TRUE(mix->check(0.0));
+    EXPECT_TRUE(mix->check(1.0));
+    EXPECT_FALSE(mix->check(1.0000001));
+    EXPECT_FALSE(mix->check(-0.0000001));
+    const core::Param *weight = core::specParams().find("weight");
+    ASSERT_NE(weight, nullptr);
+    EXPECT_FALSE(weight->check(0.0));
+    EXPECT_TRUE(weight->check(0.0000001));
+}
+
+// --- Fair-share directives: grammar and ranges ----------------------
+
+TEST(SpecErrors, FairShareDirectiveRanges)
+{
+    expectSpecError("experiment v1\nstarvation-tolerance\n", 2,
+                    "'starvation-tolerance' needs 1 argument(s): "
+                    "starvation-tolerance <fraction>");
+    expectSpecError("experiment v1\nstarvation-tolerance 1.5\n", 2,
+                    "starvation-tolerance must be a fraction in "
+                    "[0, 1], got '1.5'");
+    expectSpecError("experiment v1\nstarvation-tolerance -0.1\n", 2,
+                    "starvation-tolerance must be a fraction in "
+                    "[0, 1], got '-0.1'");
+    expectSpecError("experiment v1\nstarvation-tolerance abc\n", 2,
+                    "starvation-tolerance must be a fraction in "
+                    "[0, 1], got 'abc'");
+    expectSpecError("experiment v1\nstarvation-tolerance 0.5\n"
+                    "starvation-tolerance 0.6\n",
+                    3,
+                    "duplicate 'starvation-tolerance' directive "
+                    "(first on line 2)");
+    expectSpecError("experiment v1\npreemption-timeout\n", 2,
+                    "'preemption-timeout' needs 1 argument(s): "
+                    "preemption-timeout <seconds>");
+    expectSpecError("experiment v1\npreemption-timeout -1\n", 2,
+                    "'preemption-timeout' must be a non-negative "
+                    "number of seconds, got '-1'");
+    // Pre-registry knobs keep their exact messages through the
+    // registry migration.
+    expectSpecError("experiment v1\nplanner-budget -1\n", 2,
+                    "'planner-budget' must be a non-negative number "
+                    "of seconds, got '-1'");
+    expectSpecError("experiment v1\nmeasure -0.5\n", 2,
+                    "'measure' must be a non-negative number of "
+                    "seconds, got '-0.5'");
+    expectSpecError("experiment v1\nthreads -1\n", 2,
+                    "threads must be a non-negative integer, "
+                    "got '-1'");
+}
+
+TEST(SpecErrors, SimulationThreadsAliasSharesTheCanonicalKnob)
+{
+    // The alias parses into the same knob, reports errors under the
+    // canonical key, and counts against the same duplicate check.
+    expectSpecError("experiment v1\nsimulation-threads 0\n", 2,
+                    "sim-threads must be a positive integer, "
+                    "got '0'");
+    expectSpecError("experiment v1\nsim-threads 2\n"
+                    "simulation-threads 4\n",
+                    3,
+                    "duplicate 'sim-threads' directive (first on "
+                    "line 2)");
+    auto spec = io::experimentFromString("experiment v1\n"
+                                         "simulation-threads 4\n"
+                                         "cluster planner10\n"
+                                         "model llama30b\n"
+                                         "planner swarm\n"
+                                         "scheduler helix\n"
+                                         "scenario offline\n");
+    ASSERT_TRUE(spec.has_value());
+    EXPECT_EQ(spec->simThreads, 4);
+    // Serialization canonicalizes the alias away.
+    EXPECT_NE(io::experimentToString(*spec).find("sim-threads 4\n"),
+              std::string::npos);
+    EXPECT_EQ(io::experimentToString(*spec).find("simulation-threads"),
+              std::string::npos);
+}
+
+// --- Tenant lines: grammar, options, and cross-line validation ------
+
+TEST(SpecErrors, TenantGrammar)
+{
+    expectSpecError("experiment v1\ntenant\n", 2,
+                    "'tenant' needs a name: tenant <name> "
+                    "[key=value ...]");
+    expectSpecError("experiment v1\ntenant a weight=1\n"
+                    "tenant a weight=2\n",
+                    3, "duplicate tenant 'a' (first on line 2)");
+    expectSpecError("experiment v1\ntenant a weight\n", 2,
+                    "tenant option 'weight' is not key=value");
+    expectSpecError("experiment v1\ntenant a quota=3\n", 2,
+                    "tenant 'a' does not take option 'quota' (known: "
+                    "weight, mix, slo-ttft, slo-tpot)");
+    // A knob that exists in another scope is still unknown here.
+    expectSpecError("experiment v1\ntenant a utilization=0.5\n", 2,
+                    "tenant 'a' does not take option 'utilization' "
+                    "(known: weight, mix, slo-ttft, slo-tpot)");
+    expectSpecError("experiment v1\ntenant a weight=1 weight=2\n", 2,
+                    "duplicate tenant option 'weight'");
+    expectSpecError("experiment v1\ntenant a weight=abc\n", 2,
+                    "tenant option 'weight' has non-numeric value "
+                    "'abc'");
+    expectSpecError("experiment v1\ntenant a weight=0\n", 2,
+                    "tenant option 'weight' must be positive, "
+                    "got '0'");
+    expectSpecError("experiment v1\ntenant a weight=-2\n", 2,
+                    "tenant option 'weight' must be positive, "
+                    "got '-2'");
+    expectSpecError("experiment v1\ntenant a weight=1 mix=1.5\n", 2,
+                    "tenant option 'mix' must be a fraction in "
+                    "[0, 1], got '1.5'");
+    expectSpecError("experiment v1\ntenant a weight=1 slo-ttft=0\n",
+                    2,
+                    "tenant option 'slo-ttft' must be a positive "
+                    "number of seconds, got '0'");
+    expectSpecError("experiment v1\ntenant a weight=1 slo-tpot=-1\n",
+                    2,
+                    "tenant option 'slo-tpot' must be a positive "
+                    "number of seconds, got '-1'");
+    expectSpecError("experiment v1\ntenant a mix=0.5\n", 2,
+                    "tenant 'a' requires weight=<w>");
+}
+
+TEST(SpecErrors, TenantMixesAreAllOrNoneAndSumToOne)
+{
+    const std::string head = "experiment v1\n"
+                             "cluster planner10\n"
+                             "model llama30b\n"
+                             "planner swarm\n"
+                             "scheduler helix\n"
+                             "scenario offline\n";
+    // A missing mix is reported on the offending tenant's line.
+    expectSpecError(head + "tenant a weight=1 mix=0.5\n"
+                           "tenant b weight=1\n",
+                    8,
+                    "tenant 'b' needs mix=<fraction>: arrival mixes "
+                    "are all-or-none");
+    // A bad sum is reported on the first tenant line.
+    expectSpecError(head + "tenant a weight=1 mix=0.5\n"
+                           "tenant b weight=1 mix=0.25\n",
+                    7, "tenant mixes must sum to 1, got 0.75");
+}
+
+TEST(SpecRoundTrip, MultiTenantWorkedExamplePinnedByteForByte)
+{
+    // The worked example from docs/FILE_FORMATS.md, pinned in its
+    // canonical form: parse -> serialize must reproduce these exact
+    // bytes. starvation-tolerance / preemption-timeout are emitted
+    // only when tenants are declared; unset tenant options (mix,
+    // SLOs) stay omitted.
+    const std::string canonical =
+        "experiment v1\n"
+        "name multi-tenant-example\n"
+        "output csv\n"
+        "seed 7\n"
+        "warmup 10\n"
+        "measure 60\n"
+        "planner-budget 0.5\n"
+        "starvation-tolerance 0.5\n"
+        "preemption-timeout 2\n"
+        "cluster gen:geo-distributed:64\n"
+        "model llama30b\n"
+        "planner swarm\n"
+        "scheduler helix\n"
+        "tenant batch weight=1 mix=0.75\n"
+        "tenant interactive weight=4 mix=0.25 slo-ttft=1.5 "
+        "slo-tpot=0.125\n"
+        "scenario offline\n";
+    io::ParseError error;
+    auto spec = io::experimentFromString(canonical, error);
+    ASSERT_TRUE(spec.has_value())
+        << error.line << ": " << error.message;
+    ASSERT_EQ(spec->tenants.size(), 2u);
+    EXPECT_EQ(spec->tenants[0].name, "batch");
+    EXPECT_EQ(spec->tenants[0].weight, 1.0);
+    EXPECT_EQ(spec->tenants[0].mix, 0.75);
+    EXPECT_EQ(spec->tenants[0].sloTtftS, 0.0);
+    EXPECT_EQ(spec->tenants[1].name, "interactive");
+    EXPECT_EQ(spec->tenants[1].weight, 4.0);
+    EXPECT_EQ(spec->tenants[1].sloTtftS, 1.5);
+    EXPECT_EQ(spec->tenants[1].sloTpotS, 0.125);
+    EXPECT_EQ(spec->starvationTolerance, 0.5);
+    EXPECT_EQ(spec->preemptionTimeoutS, 2.0);
+    EXPECT_EQ(io::experimentToString(*spec), canonical);
+
+    // Without tenants the fair-share directives are not emitted, so
+    // pre-tenancy specs round-trip to their pre-tenancy bytes.
+    auto plain = io::experimentFromString("experiment v1\n"
+                                          "cluster planner10\n"
+                                          "model llama30b\n"
+                                          "planner swarm\n"
+                                          "scheduler helix\n"
+                                          "scenario offline\n");
+    ASSERT_TRUE(plain.has_value());
+    EXPECT_TRUE(plain->tenants.empty());
+    const std::string emitted = io::experimentToString(*plain);
+    EXPECT_EQ(emitted.find("starvation-tolerance"),
+              std::string::npos);
+    EXPECT_EQ(emitted.find("preemption-timeout"), std::string::npos);
+    EXPECT_EQ(emitted.find("tenant"), std::string::npos);
 }
 
 /** runSpec refuses invalid specs through the same validate path. */

@@ -21,6 +21,8 @@ Checks (``--list-checks`` for the one-liners):
                          overload threading io::ParseError
   float-eq               no floating-point ==/!= outside tolerance
                          helpers
+  param-registry         spec-parser key/tag comparisons must name
+                         keys declared in core::specParams()
   self-include-first     a .cpp file's first include is its own header
   unused-include         no quoted project includes whose declarations
                          are never referenced
@@ -76,6 +78,10 @@ CHECKS = {
     ),
     "float-eq": (
         "floating-point ==/!= outside tolerance helpers"
+    ),
+    "param-registry": (
+        "spec-parser comparison against a key not declared in the "
+        "core::specParams() registry (src/core/params.cpp)"
     ),
     "self-include-first": (
         "a .cpp file must include its own header first"
@@ -434,6 +440,60 @@ def check_float_eq(src: SourceFile):
                     "with an allow()")
 
 
+# The experiment-spec parser surface: every knob these files compare a
+# directive/option token against must come from core::specParams(), so
+# new knobs cannot bypass the registry's range checks, usage strings,
+# and the pinned "(known: ...)" error lists.
+PARAM_REGISTRY_PREFIXES = ("src/io/spec", "src/exp/spec")
+PARAM_KEY_VAR_NAMES = {"key", "tag"}
+# `key == "warmup"` / `"warmup" == key` (and !=), on raw lines: the
+# stripped view blanks string-literal contents.
+PARAM_KEY_CMP_RE = re.compile(
+    r'([A-Za-z_][\w.>()-]*)\s*(?:==|!=)\s*"([a-z][a-z0-9-]*)"'
+    r'|"([a-z][a-z0-9-]*)"\s*(?:==|!=)\s*([A-Za-z_][\w.>()-]*)')
+PARAM_DECL_RE = re.compile(r'\bparameter\(\s*"([^"]+)"')
+PARAM_ALIAS_RE = re.compile(r'\.alias\(\s*"([^"]+)"\s*\)')
+
+_DECLARED_KEYS_CACHE = None
+
+
+def _declared_spec_keys():
+    """Keys and aliases declared in core::specParams()."""
+    global _DECLARED_KEYS_CACHE
+    if _DECLARED_KEYS_CACHE is None:
+        try:
+            text = (REPO_ROOT / "src" / "core" / "params.cpp").read_text(
+                encoding="utf-8", errors="replace")
+        except OSError:
+            text = ""
+        _DECLARED_KEYS_CACHE = set(PARAM_DECL_RE.findall(text)) | \
+            set(PARAM_ALIAS_RE.findall(text))
+    return _DECLARED_KEYS_CACHE
+
+
+def check_param_registry(src: SourceFile):
+    if not src.in_scope(PARAM_REGISTRY_PREFIXES):
+        return
+    declared = _declared_spec_keys()
+    if not declared:
+        return  # registry source missing; nothing to compare against
+    for lineno, line in enumerate(src.raw_lines, start=1):
+        code = line.split("//", 1)[0]
+        for m in PARAM_KEY_CMP_RE.finditer(code):
+            var = m.group(1) or m.group(4)
+            literal = m.group(2) or m.group(3)
+            if _terminal_identifier(var) not in PARAM_KEY_VAR_NAMES:
+                continue
+            if literal in declared:
+                continue
+            yield Finding(
+                src.rel, lineno, "param-registry",
+                f"spec key '{literal}' is parsed ad-hoc; declare it "
+                "in core::specParams() (src/core/params.cpp) so its "
+                "range, usage, and the pinned known-key lists stay "
+                "accurate")
+
+
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+([<"])([^">]+)[">]')
 
 # Directories whose headers are included relative to themselves.
@@ -548,6 +608,7 @@ CHECK_FUNCTIONS = {
     "hot-path-std-function": check_hot_path_std_function,
     "parse-error-threading": check_parse_error_threading,
     "float-eq": check_float_eq,
+    "param-registry": check_param_registry,
     "self-include-first": check_self_include_first,
     "unused-include": check_unused_include,
 }

@@ -41,6 +41,8 @@ CASES = [
     ("parse-error-threading", "parse_error_threading_violation.h",
      "parse_error_threading_clean.h"),
     ("float-eq", "float_eq_violation.cpp", "float_eq_clean.cpp"),
+    ("param-registry", "param_registry_violation.cpp",
+     "param_registry_clean.cpp"),
     ("self-include-first", "self_include_first_violation.cpp",
      "self_include_first_clean.cpp"),
     ("unused-include", "unused_include_violation.cpp",
