@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Thread-context annotations for the concurrency surface.
+ *
+ * The sharded simulation executor (sim/executor.h) splits one run
+ * across three execution contexts with strictly widening rights:
+ *
+ *  - **lane** — a shard worker executing one node lane's events in
+ *    parallel with the other lanes. It may touch only the owning
+ *    lane's node state and the message plumbing.
+ *  - **coordinator** — the round-driver thread running the serial
+ *    coordinator phase (admission, scheduling, token accounting,
+ *    drift re-solves) while node lanes are parked between phases.
+ *  - **churn barrier** — the round-driver thread inside a full
+ *    barrier step (churn, preemption): every lane stopped, all state
+ *    fully synchronized, exactly like the serial loop.
+ *
+ * The macros below expand to nothing; they exist so
+ * ``tools/helix_analyze.py`` can propagate the declared context of
+ * every entry point through an approximate call graph and reject any
+ * reachable path where lane-context code calls or mutates
+ * coordinator-confined state — the exact bug class the executor's
+ * serial coordinator phase exists to prevent (check id
+ * ``thread-context``; see docs/DEVELOPMENT.md).
+ *
+ * Placement: the macro goes on the declaration line (or the line
+ * directly above it) of a member function or data member. Annotate
+ * the base-class declaration of a virtual; overrides inherit it.
+ */
+
+#ifndef HELIX_CORE_ANNOTATIONS_H
+#define HELIX_CORE_ANNOTATIONS_H
+
+/**
+ * Callable from (or mutable by) the coordinator phase and barrier
+ * steps only — never from a node-lane shard worker. This is the
+ * default home of scheduler feedback, admission, fair-share, and
+ * live-topology state.
+ */
+#define HELIX_COORDINATOR_ONLY
+
+/**
+ * Safe in every context, including concurrently on shard workers:
+ * the function touches only lane-owned node state, immutable
+ * configuration, or the cross-lane message plumbing.
+ */
+#define HELIX_LANE_SAFE
+
+/**
+ * Callable only inside a full serial barrier (churn events,
+ * preemption): the function tears down or rebuilds state spanning
+ * multiple shards and requires every lane to be stopped and
+ * synchronized.
+ */
+#define HELIX_CHURN_BARRIER_ONLY
+
+/**
+ * A context demultiplexer: the function routes each call or event to
+ * its owning context (an event-kind switch, a tlsLane guard deferring
+ * work to the coordinator phase, the round driver entering barrier /
+ * coordinator phases). Static propagation STOPS here — the routing
+ * itself is verified dynamically by the serial-vs-parallel
+ * differential harness (tests/test_sim_differential.cpp), which is
+ * byte-exact at every thread count.
+ */
+#define HELIX_CONTEXT_DISPATCH
+
+#endif // HELIX_CORE_ANNOTATIONS_H

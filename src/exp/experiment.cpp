@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "cluster/generator.h"
+#include "exp/schema.h"
 #include "placement/partitioned_planner.h"
 #include "placement/portfolio.h"
 #include "util/logging.h"
@@ -295,21 +296,6 @@ num(double value)
 }
 
 /**
- * A latency statistic, or NaN when the accumulator holds no samples.
- * StatAccumulator returns 0.0 on empty, which in emitted output is
- * indistinguishable from a true zero-latency measurement; the
- * emitters turn the NaN into an empty CSV field / JSON null so
- * downstream analysis can tell "no data" from "zero".
- */
-double
-statOrNan(const StatAccumulator &stat, double value)
-{
-    return stat.count() > 0
-               ? value
-               : std::numeric_limits<double>::quiet_NaN();
-}
-
-/**
  * Compact churn log: "fail:1@33=1234.5/cold;recover:1@66=2345.6/cold".
  * The trailing /<resolve> distinguishes cold re-solves from
  * incremental repairs and drift-triggered shrinks.
@@ -372,129 +358,24 @@ anyTenantStats(const std::vector<JobResult> &results)
                        });
 }
 
-/** The flat metric columns shared by the JSON and CSV emitters. */
-struct MetricColumn
-{
-    const char *name;
-    double (*get)(const JobResult &);
-};
-
-const MetricColumn kColumns[] = {
-    {"planned_throughput",
-     [](const JobResult &r) { return r.plannedThroughput; }},
-    {"decode_throughput",
-     [](const JobResult &r) { return r.metrics.decodeThroughput; }},
-    {"prompt_throughput",
-     [](const JobResult &r) { return r.metrics.promptThroughput; }},
-    {"prompt_latency_mean",
-     [](const JobResult &r) {
-         return statOrNan(r.metrics.promptLatency,
-                          r.metrics.promptLatency.mean());
-     }},
-    {"prompt_latency_p50",
-     [](const JobResult &r) {
-         return statOrNan(r.metrics.promptLatency,
-                          r.metrics.promptLatency.percentile(50));
-     }},
-    {"prompt_latency_p95",
-     [](const JobResult &r) {
-         return statOrNan(r.metrics.promptLatency,
-                          r.metrics.promptLatency.percentile(95));
-     }},
-    {"prompt_latency_p99",
-     [](const JobResult &r) {
-         return statOrNan(r.metrics.promptLatency,
-                          r.metrics.promptLatency.percentile(99));
-     }},
-    {"decode_latency_mean",
-     [](const JobResult &r) {
-         return statOrNan(r.metrics.decodeLatency,
-                          r.metrics.decodeLatency.mean());
-     }},
-    {"decode_latency_p50",
-     [](const JobResult &r) {
-         return statOrNan(r.metrics.decodeLatency,
-                          r.metrics.decodeLatency.percentile(50));
-     }},
-    {"decode_latency_p95",
-     [](const JobResult &r) {
-         return statOrNan(r.metrics.decodeLatency,
-                          r.metrics.decodeLatency.percentile(95));
-     }},
-    {"decode_latency_p99",
-     [](const JobResult &r) {
-         return statOrNan(r.metrics.decodeLatency,
-                          r.metrics.decodeLatency.percentile(99));
-     }},
-    {"requests_arrived",
-     [](const JobResult &r) {
-         return static_cast<double>(r.metrics.requestsArrived);
-     }},
-    {"requests_admitted",
-     [](const JobResult &r) {
-         return static_cast<double>(r.metrics.requestsAdmitted);
-     }},
-    {"requests_completed",
-     [](const JobResult &r) {
-         return static_cast<double>(r.metrics.requestsCompleted);
-     }},
-    {"requests_rejected",
-     [](const JobResult &r) {
-         return static_cast<double>(r.metrics.requestsRejected);
-     }},
-    {"requests_restarted",
-     [](const JobResult &r) {
-         return static_cast<double>(r.metrics.requestsRestarted);
-     }},
-    {"avg_kv_utilization",
-     [](const JobResult &r) { return r.metrics.avgKvUtilization; }},
-    {"wall_seconds",
-     [](const JobResult &r) { return r.wallSeconds; }},
-};
-
-/** The string columns, mirroring the MetricColumn table. */
-struct StringColumn
-{
-    const char *name;
-    const std::string &(*get)(const JobResult &);
-};
-
-const StringColumn kStringColumns[] = {
-    {"label",
-     [](const JobResult &r) -> const std::string & { return r.label; }},
-    {"cluster",
-     [](const JobResult &r) -> const std::string & {
-         return r.cluster;
-     }},
-    {"model",
-     [](const JobResult &r) -> const std::string & { return r.model; }},
-    {"planner",
-     [](const JobResult &r) -> const std::string & {
-         return r.planner;
-     }},
-    {"scheduler",
-     [](const JobResult &r) -> const std::string & {
-         return r.scheduler;
-     }},
-    {"arrivals",
-     [](const JobResult &r) -> const std::string & {
-         return r.arrivals;
-     }},
-};
-
 } // namespace
 
 std::string
 resultsToJson(const std::vector<JobResult> &results)
 {
+    size_t num_metric = 0;
+    size_t num_string = 0;
+    const MetricColumnSpec *metric_cols = metricColumns(num_metric);
+    const StringColumnSpec *string_cols = stringColumns(num_string);
     std::ostringstream out;
     out << "[\n";
     for (size_t i = 0; i < results.size(); ++i) {
         const JobResult &r = results[i];
         out << "  {";
         bool first = true;
-        for (const StringColumn &col : kStringColumns) {
-            out << (first ? "" : ", ") << '"' << col.name
+        for (size_t c = 0; c < num_string; ++c) {
+            const StringColumnSpec &col = string_cols[c];
+            out << (first ? "" : ", ") << '"' << col.column
                 << "\": \"" << jsonEscape(col.get(r)) << '"';
             first = false;
         }
@@ -510,10 +391,11 @@ resultsToJson(const std::vector<JobResult> &results)
                 << sim::toString(event.resolveKind) << "\"}";
         }
         out << "]";
-        for (const MetricColumn &col : kColumns) {
+        for (size_t c = 0; c < num_metric; ++c) {
+            const MetricColumnSpec &col = metric_cols[c];
             double value = col.get(r);
             // Zero-sample statistics emit null, not a fake 0.
-            out << ", \"" << col.name << "\": "
+            out << ", \"" << col.column << "\": "
                 << (std::isnan(value) ? "null" : num(value));
         }
         if (!r.metrics.tenantStats.empty()) {
@@ -563,16 +445,20 @@ resultsToJson(const std::vector<JobResult> &results)
 std::string
 resultsToCsv(const std::vector<JobResult> &results)
 {
+    size_t num_metric = 0;
+    size_t num_string = 0;
+    const MetricColumnSpec *metric_cols = metricColumns(num_metric);
+    const StringColumnSpec *string_cols = stringColumns(num_string);
     std::ostringstream out;
     bool tenancy = anyTenantStats(results);
     bool first = true;
-    for (const StringColumn &col : kStringColumns) {
-        out << (first ? "" : ",") << col.name;
+    for (size_t c = 0; c < num_string; ++c) {
+        out << (first ? "" : ",") << string_cols[c].column;
         first = false;
     }
     out << ",churn_events";
-    for (const MetricColumn &col : kColumns)
-        out << ',' << col.name;
+    for (size_t c = 0; c < num_metric; ++c)
+        out << ',' << metric_cols[c].column;
     if (tenancy)
         out << ",requests_preempted,jain_index,tenant_stats";
     out << '\n';
@@ -589,16 +475,16 @@ resultsToCsv(const std::vector<JobResult> &results)
             out << '"';
         };
         first = true;
-        for (const StringColumn &col : kStringColumns) {
+        for (size_t c = 0; c < num_string; ++c) {
             if (!first)
                 out << ',';
             first = false;
-            quoted(col.get(r));
+            quoted(string_cols[c].get(r));
         }
         out << ',';
         quoted(formatChurnEvents(r.metrics));
-        for (const MetricColumn &col : kColumns) {
-            double value = col.get(r);
+        for (size_t c = 0; c < num_metric; ++c) {
+            double value = metric_cols[c].get(r);
             out << ',';
             // Zero-sample statistics emit an empty field, not a
             // fake 0.

@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "core/annotations.h"
+
 namespace helix {
 namespace flow {
 
@@ -96,7 +98,11 @@ class FlowGraph
      * new_capacity - current_flow and may go negative when the edge is
      * now over-committed; PreflowPush::repair() restores feasibility
      * (and maximality) incrementally from that state.
+     *
+     * Live-serving call sites edit TopologyManager's persistent
+     * warm-start network, which is coordinator-confined state.
      */
+    HELIX_COORDINATOR_ONLY
     void setEdgeCapacity(EdgeId forward_edge, double capacity);
 
     /** Total capacity leaving @p node over forward edges. */

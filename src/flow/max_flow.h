@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "core/annotations.h"
 #include "flow/graph.h"
 
 namespace helix {
@@ -57,7 +58,11 @@ class PreflowPush
      * whenever the maximum flow is not unique.
      *
      * @return the max-flow value for the current capacities.
+     *
+     * Live-serving call sites run against TopologyManager's persistent
+     * warm-start network, which is coordinator-confined state.
      */
+    HELIX_COORDINATOR_ONLY
     [[nodiscard]] double repair(NodeId source, NodeId sink);
 
   private:

@@ -18,6 +18,7 @@
 
 #include "cluster/cluster.h"
 #include "cluster/profiler.h"
+#include "core/annotations.h"
 #include "flow/graph.h"
 #include "placement/placement.h"
 
@@ -108,7 +109,11 @@ class PlacementGraph
      * valid on an unsolved graph (degenerates to a full solve).
      * @return the updated max-flow value, which becomes the cached
      *         maxThroughput() value.
+     *
+     * Live-serving call sites run against TopologyManager's
+     * persistent graph, which is coordinator-confined state.
      */
+    HELIX_COORDINATOR_ONLY
     [[nodiscard]] double repairFlow();
 
     /**
@@ -118,6 +123,7 @@ class PlacementGraph
      * from the graph. Call repairFlow() (or re-solve) afterwards;
      * until then recorded flows may be infeasible.
      */
+    HELIX_COORDINATOR_ONLY
     void setComputeCapacity(int node, double capacity);
 
     /** Forward edge carrying @p node's compute throughput, or

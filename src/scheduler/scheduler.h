@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cluster/profiler.h"
+#include "core/annotations.h"
 #include "placement/placement_graph.h"
 #include "scheduler/iwrr.h"
 #include "trace/trace.h"
@@ -46,7 +47,10 @@ using Pipeline = std::vector<PipelineStage>;
 
 /**
  * Runtime feedback the simulator exposes to schedulers (queue depths,
- * recent throughput, actual KV occupancy).
+ * recent throughput, actual KV occupancy). Coordinator-phase views:
+ * the parallel executor materializes them from its node-state mirror,
+ * so they may only be read where the mirror is valid — the serial
+ * coordinator phase and barrier steps (HELIX_COORDINATOR_ONLY).
  */
 class SchedulerContext
 {
@@ -54,18 +58,22 @@ class SchedulerContext
     virtual ~SchedulerContext() = default;
 
     /** Requests queued + running at @p node. */
+    HELIX_COORDINATOR_ONLY
     virtual int queueLength(int node) const = 0;
 
     /** Recent tokens/s processed by @p node (EWMA). */
+    HELIX_COORDINATOR_ONLY
     virtual double recentThroughput(int node) const = 0;
 
     /** Actual KV-cache bytes in use at @p node. */
+    HELIX_COORDINATOR_ONLY
     virtual double kvUsedBytes(int node) const = 0;
 
     /**
      * Whether @p node is alive. The simulator's churn scenario marks
      * failed nodes dead; schedulers must not route through them.
      */
+    HELIX_COORDINATOR_ONLY
     virtual bool
     nodeAlive(int node) const
     {
@@ -145,10 +153,12 @@ class RequestScheduler
      *         request right now (the coordinator should retry after
      *         some requests finish).
      */
+    HELIX_COORDINATOR_ONLY
     virtual std::optional<Pipeline> schedule(
         const trace::Request &request, const SchedulerContext &ctx) = 0;
 
     /** Notification that a scheduled request was admitted. */
+    HELIX_COORDINATOR_ONLY
     virtual void
     onRequestAdmitted(const trace::Request &request,
                       const Pipeline &pipeline)
@@ -158,6 +168,7 @@ class RequestScheduler
     }
 
     /** Notification that a request finished and released its KV. */
+    HELIX_COORDINATOR_ONLY
     virtual void
     onRequestFinished(const trace::Request &request,
                       const Pipeline &pipeline)
@@ -184,6 +195,7 @@ class RequestScheduler
      * (schedule, notifications, this swap) is serialized by the
      * executor's round structure.
      */
+    HELIX_COORDINATOR_ONLY
     virtual void
     onTopologyChange(const Topology &topology)
     {
@@ -205,7 +217,9 @@ class RequestScheduler
     std::unique_ptr<Topology> ownedTopo;
 };
 
-/** Shared admission bookkeeping: scheduler-side KV estimation. */
+/** Shared admission bookkeeping: scheduler-side KV estimation.
+ *  Scheduler-internal state, so coordinator-confined like its owner
+ *  (every call site sits inside a RequestScheduler entry point). */
 class KvEstimator
 {
   public:
@@ -213,18 +227,23 @@ class KvEstimator
                 double high_water_mark);
 
     /** Estimated KV bytes @p request needs on @p stage's node. */
+    HELIX_COORDINATOR_ONLY
     [[nodiscard]] double requestBytes(const trace::Request &request,
                                       const PipelineStage &stage) const;
 
     /** Whether @p node can accept @p request's stage load. */
+    HELIX_COORDINATOR_ONLY
     [[nodiscard]] bool admits(int node, double bytes) const;
 
     /** Reserve estimated bytes for an admitted request. */
+    HELIX_COORDINATOR_ONLY
     void reserve(int node, double bytes);
 
     /** Release estimated bytes when a request finishes. */
+    HELIX_COORDINATOR_ONLY
     void release(int node, double bytes);
 
+    HELIX_COORDINATOR_ONLY
     [[nodiscard]] double estimatedUsage(int node) const
     {
         return usage[node];
@@ -234,6 +253,7 @@ class KvEstimator
      * Rebind to a re-solved topology (same cluster, same node count).
      * Reserved usage survives: live requests keep their estimates.
      */
+    HELIX_COORDINATOR_ONLY
     void rebind(const Topology &topology);
 
   private:

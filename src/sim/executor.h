@@ -43,6 +43,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/annotations.h"
 #include "sim/simulator.h"
 #include "util/random.h"
 
@@ -127,7 +128,9 @@ class ParallelLane
      */
     Rng rng{0};
 
-    /** Stamp the lane-local sequence number and enqueue. */
+    /** Stamp the lane-local sequence number and enqueue. Lanes are
+     *  shard-private, so only the owning context may push. */
+    HELIX_LANE_SAFE
     void
     push(Event event)
     {
@@ -159,44 +162,53 @@ class ParallelExecutor
     ParallelExecutor(const ParallelExecutor &) = delete;
     ParallelExecutor &operator=(const ParallelExecutor &) = delete;
 
-    /** Execute the full run (arrivals are already seeded). */
+    /** Execute the full run (arrivals are already seeded). Drives
+     *  every context: node phases, coordinator phases, barriers. */
+    HELIX_CONTEXT_DISPATCH
     void run();
 
     /** Route a freshly scheduled event: own-lane events are pushed
      *  directly, cross-lane events go to the source lane's outbox
      *  (or straight to the target when no lane is executing, i.e.
      *  during a barrier step). */
+    HELIX_LANE_SAFE
     void route(ClusterSimulator::Event event, ParallelLane *from);
 
     /** Coordinator-phase views of node state (mirror when active,
      *  live state during barrier steps and outside rounds). */
-    int viewInFlight(int node) const;
-    bool viewBusy(int node) const;
-    double viewKvUsed(int node) const;
-    double viewEwmaThroughput(int node) const;
-    double viewEwmaUpdatedAt(int node) const;
+    HELIX_COORDINATOR_ONLY int viewInFlight(int node) const;
+    HELIX_COORDINATOR_ONLY bool viewBusy(int node) const;
+    HELIX_COORDINATOR_ONLY double viewKvUsed(int node) const;
+    HELIX_COORDINATOR_ONLY double viewEwmaThroughput(int node) const;
+    HELIX_COORDINATOR_ONLY double viewEwmaUpdatedAt(int node) const;
 
   private:
     using Event = ClusterSimulator::Event;
 
     /** Lane that executes @p event (0 = coordinator). */
+    HELIX_LANE_SAFE
     int laneOf(const Event &event) const;
 
     /** Execute one lane's events below the round horizon. */
+    HELIX_LANE_SAFE
     void runLane(ParallelLane &lane);
 
     /** Node-lane phase of one round (parallel across workers). */
+    HELIX_LANE_SAFE
     void runNodePhase();
 
     /** Helper-thread loop: wait for a round, run assigned lanes. */
+    HELIX_LANE_SAFE
     void workerLoop(int worker_index);
 
     /** Coordinator phase: replay deltas + probes in event order. */
+    HELIX_COORDINATOR_ONLY
     void runCoordinatorPhase();
 
     /** Serial barrier step at churn time @p when: execute every
      *  event at exactly that time, plus the churn entries, in serial
      *  event order against fully-synchronized state. */
+    HELIX_CHURN_BARRIER_ONLY
     void runBarrier(double when);
 
     /** Flush every lane's outbox into the target lanes. */

@@ -43,6 +43,7 @@
 
 #include "cluster/cluster.h"
 #include "cluster/profiler.h"
+#include "core/annotations.h"
 #include "placement/placement.h"
 #include "scheduler/fair_share.h"
 #include "scheduler/scheduler.h"
@@ -346,13 +347,14 @@ class ClusterSimulator : public scheduler::SchedulerContext
     ~ClusterSimulator();
 
     /** Run to completion of the measurement window. */
+    HELIX_CONTEXT_DISPATCH
     SimMetrics run(const std::vector<trace::Request> &requests);
 
-    // --- SchedulerContext ---
-    int queueLength(int node) const override;
-    double recentThroughput(int node) const override;
-    double kvUsedBytes(int node) const override;
-    bool nodeAlive(int node) const override;
+    // --- SchedulerContext (coordinator-phase feedback views) ---
+    HELIX_COORDINATOR_ONLY int queueLength(int node) const override;
+    HELIX_COORDINATOR_ONLY double recentThroughput(int node) const override;
+    HELIX_COORDINATOR_ONLY double kvUsedBytes(int node) const override;
+    HELIX_COORDINATOR_ONLY bool nodeAlive(int node) const override;
 
   private:
     struct WorkItem
@@ -549,29 +551,38 @@ class ClusterSimulator : public scheduler::SchedulerContext
         LinkStat stat;
     };
 
-    /** Push a typed event at absolute time @p when. */
+    /** Push a typed event at absolute time @p when (routes through
+     *  the active lane or executor in parallel runs). */
+    HELIX_CONTEXT_DISPATCH
     void scheduleEvent(double when, Event event);
 
-    /** Dispatch one popped event. */
+    /** Dispatch one popped event to its kind's handler. */
+    HELIX_CONTEXT_DISPATCH
     void dispatch(const Event &event);
 
     /** Try to admit pending requests through the scheduler. */
+    HELIX_COORDINATOR_ONLY
     void tryAdmit();
 
     /** Fair-share admission: pull from the most under-share tenant's
      *  queue until the scheduler refuses or the active cap binds.
      *  Runs instead of the FIFO loop when tenancy is active. */
+    HELIX_COORDINATOR_ONLY
     void tryAdmitFair();
 
-    /** Tenant class of a request (clamped to the declared range). */
+    /** Tenant class of a request (clamped to the declared range,
+     *  validated against the fair-share arbiter when one exists). */
+    HELIX_COORDINATOR_ONLY
     int tenantOf(int request_index) const;
 
     /** Starvation sweep: when the controller names a victim class,
      *  schedule a Preempt event for its newest in-flight request one
      *  preemption delay from now. */
+    HELIX_COORDINATOR_ONLY
     void maybeSchedulePreempt();
 
     /** Apply a Preempt event (epoch-safe; stale events no-op). */
+    HELIX_CHURN_BARRIER_ONLY
     void applyPreempt(const Event &event);
 
     /**
@@ -584,43 +595,53 @@ class ClusterSimulator : public scheduler::SchedulerContext
      * generation progress (peakGenerated keeps regenerated tokens
      * from double-counting).
      */
+    HELIX_CHURN_BARRIER_ONLY
     void restartRequest(int request_index, int skip_node);
 
     /** Drop queued work items whose request epoch went stale (after
      *  restartRequest), fixing up per-node inFlight. */
+    HELIX_CHURN_BARRIER_ONLY
     void purgeStaleQueuedWork();
 
     /**
      * Account a transfer of @p bytes over (from, to) and return its
      * delivery time (serialization + propagation).
      */
+    HELIX_LANE_SAFE
     double transferDelivery(int from, int to, double bytes);
 
     /** Deliver a work item to a node's queue. */
+    HELIX_LANE_SAFE
     void enqueueWork(int node, const WorkItem &item);
 
     /** Start a batch on an idle node with a non-empty queue. */
+    HELIX_LANE_SAFE
     void startBatch(int node);
 
     /** Complete the batch in NodeState::running. @p node_epoch is the
      *  node's liveness epoch when the batch started; a mismatch means
      *  the node failed meanwhile and the batch was dropped. */
+    HELIX_LANE_SAFE
     void finishBatch(int node, double batch_seconds,
                      double model_seconds,
                      uint32_t node_epoch);
 
     /** Handle an output token arriving back at the coordinator. */
+    HELIX_COORDINATOR_ONLY
     void onTokenAtCoordinator(int request, uint32_t epoch);
 
     /** Reclaim a finished request's KV at @p node (KvRelease). The
      *  node epoch stamped at send time guards against a failure (and
      *  possible recovery) while the message was in flight. */
+    HELIX_LANE_SAFE
     void applyKvRelease(int node, double bytes, uint32_t node_epoch);
 
     /** Fail @p node: drop its work, restart affected requests. */
+    HELIX_CHURN_BARRIER_ONLY
     void onNodeFailure(int node);
 
     /** Recover @p node: rejoin with empty KV and queue. */
+    HELIX_CHURN_BARRIER_ONLY
     void onNodeRecovery(int node);
 
     /**
@@ -628,10 +649,12 @@ class ClusterSimulator : public scheduler::SchedulerContext
      * change, swap the fresh topology into the scheduler, and log the
      * new flow value in SimMetrics::flowEvents.
      */
+    HELIX_COORDINATOR_ONLY
     void resolveTopology(int node, ChurnEvent::Kind kind);
 
     /** Lazily build the live-topology manager (first churn or drift
      *  event), honoring SimConfig::repairTopology. */
+    HELIX_COORDINATOR_ONLY
     scheduler::TopologyManager &topologyManager();
 
     /**
@@ -645,14 +668,17 @@ class ClusterSimulator : public scheduler::SchedulerContext
      * order — the scheduler and topology manager stay confined to the
      * round-driver thread.
      */
+    HELIX_CONTEXT_DISPATCH
     void maybeDriftResolve(int node);
 
     /** Node-local half of the drift check (no topology state read). */
+    HELIX_LANE_SAFE
     bool driftCheckLocal(int node) const;
 
     /** Coordinator half: planned-vs-observed comparison + re-solve.
      *  @p ewma_speed is the node's speed EWMA sampled when the
      *  triggering batch finished. */
+    HELIX_COORDINATOR_ONLY
     void applyDriftResolve(int node, double ewma_speed);
 
     /** Current context length of a request (prompt + generated). */
@@ -681,6 +707,7 @@ class ClusterSimulator : public scheduler::SchedulerContext
 
     /** The original single-threaded event loop (also the reference
      *  the differential harness compares the executor against). */
+    HELIX_CHURN_BARRIER_ONLY
     void runSerialLoop(const std::vector<ChurnEvent> &churn,
                        double end_time);
 
@@ -688,13 +715,13 @@ class ClusterSimulator : public scheduler::SchedulerContext
      *  executor's mirror during the coordinator phase so scheduler
      *  feedback reflects exactly the node events that precede the
      *  current event in the serial order. */
-    int nodeInFlightView(int node) const;
-    bool nodeBusyView(int node) const;
+    HELIX_COORDINATOR_ONLY int nodeInFlightView(int node) const;
+    HELIX_COORDINATOR_ONLY bool nodeBusyView(int node) const;
 
     const cluster::ClusterSpec &clusterRef;
     const cluster::Profiler &profiler;
     const placement::ModelPlacement &placementRef;
-    scheduler::RequestScheduler &sched;
+    HELIX_COORDINATOR_ONLY scheduler::RequestScheduler &sched;
     SimConfig cfg;
 
     double now = 0.0;
@@ -703,7 +730,8 @@ class ClusterSimulator : public scheduler::SchedulerContext
 
     std::vector<NodeState> nodes;
     std::vector<RequestState> requests;
-    std::deque<int> pending;
+    /** Admission queue: coordinator-phase state, like the arbiter. */
+    HELIX_COORDINATOR_ONLY std::deque<int> pending;
     std::vector<LinkState> links; // (side)^2, row 0 = coordinator
     int side = 0;
     /** Scratch for prompts deferred during batch assembly (reused). */
@@ -714,6 +742,7 @@ class ClusterSimulator : public scheduler::SchedulerContext
      * solves). The scheduler copies the topology it is rebound to,
      * so its lifetime stays independent of the simulator's.
      */
+    HELIX_COORDINATOR_ONLY
     std::unique_ptr<scheduler::TopologyManager> topoManager;
 
     /**
@@ -722,13 +751,16 @@ class ClusterSimulator : public scheduler::SchedulerContext
      * original single-queue admission path (and its byte-exact
      * behavior) untouched.
      */
+    HELIX_COORDINATOR_ONLY
     std::unique_ptr<scheduler::FairShareController> fair;
     /** Decision-to-effect delay of a preemption: the minimum link
      *  propagation latency, so Preempt events always land beyond the
      *  parallel executor's current round horizon. */
     double preemptDelayS = 0.0;
 
-    SimMetrics metrics;
+    /** Run-level counters: every write happens in coordinator or
+     *  barrier context (lane-local stats live in NodeState). */
+    HELIX_COORDINATOR_ONLY SimMetrics metrics;
 
     /**
      * Active parallel executor, set only while a sharded run is in

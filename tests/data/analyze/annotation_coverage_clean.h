@@ -1,0 +1,26 @@
+// helix-analyze: treat-as(src/scheduler/coverage_clean_fixture.h)
+// Clean fixture for the annotation-coverage check: every public
+// entry point annotated; constructors, nested types, and private
+// members are outside the contract.
+
+class FairShareController
+{
+  public:
+    struct Config
+    {
+        double weight = 1.0;
+        void normalize();
+    };
+
+    explicit FairShareController(Config config);
+
+    HELIX_COORDINATOR_ONLY
+    bool active() const { return enabled; }
+
+    HELIX_COORDINATOR_ONLY
+    void enqueue(int tenant);
+
+  private:
+    bool enabled = false;
+    void rebalance();
+};

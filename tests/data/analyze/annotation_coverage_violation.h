@@ -1,0 +1,18 @@
+// helix-analyze: treat-as(src/sim/coverage_fixture.h)
+// Violating fixture for the annotation-coverage check: a public
+// entry point of a coverage class without a context annotation.
+
+class ParallelExecutor
+{
+  public:
+    ParallelExecutor() = default;
+    ParallelExecutor(const ParallelExecutor &) = delete;
+
+    HELIX_CONTEXT_DISPATCH
+    void run();
+
+    void route(); // LINT-EXPECT: annotation-coverage
+
+  private:
+    void runLane(); // private members are outside the contract
+};

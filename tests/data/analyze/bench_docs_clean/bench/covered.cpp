@@ -1,0 +1,9 @@
+// helix-analyze: treat-as(bench/covered_fixture.cpp)
+// Clean fixture for the bench-docs check: the companion README
+// carries a bench_covered row.
+
+int
+main()
+{
+    return 0;
+}

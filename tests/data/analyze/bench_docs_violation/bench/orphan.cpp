@@ -1,0 +1,10 @@
+// LINT-EXPECT: bench-docs
+// helix-analyze: treat-as(bench/orphan_fixture.cpp)
+// Drift fixture for the bench-docs check: the companion README has
+// no bench_orphan row.
+
+int
+main()
+{
+    return 0;
+}

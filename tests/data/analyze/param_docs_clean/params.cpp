@@ -1,0 +1,9 @@
+// helix-analyze: treat-as(src/core/params_clean_fixture.cpp)
+// Clean fixture for the param-docs check.
+
+void
+registerParams(Registry &p)
+{
+    p.parameter("cluster").alias("cluster-spec");
+    p.parameter("output");
+}

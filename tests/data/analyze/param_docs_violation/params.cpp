@@ -1,0 +1,11 @@
+// helix-analyze: treat-as(src/core/params_fixture.cpp)
+// Drift fixture for the param-docs check: ghost-key is declared but
+// never documented in the companion docs fixture.
+
+void
+registerParams(Registry &p)
+{
+    p.parameter("cluster");
+    p.parameter("output");
+    p.parameter("ghost-key"); // LINT-EXPECT: param-docs
+}

@@ -1,0 +1,14 @@
+// helix-analyze: treat-as(src/exp/emitters_clean_fixture.cpp)
+// Emitter fixture: both emitters render every schema column.
+
+std::string
+resultsToJson()
+{
+    return "{\"decode_throughput\": 1.0, \"requests_arrived\": 2}";
+}
+
+std::string
+resultsToCsv()
+{
+    return "decode_throughput,requests_arrived\n1.0,2\n";
+}

@@ -1,0 +1,10 @@
+// helix-analyze: treat-as(tests/fingerprint_clean_fixture.cpp)
+// Fingerprint fixture: renders every schema fingerprint token.
+
+void
+fingerprint(std::ostream &out, const SimMetrics &m)
+{
+    out << " decodeThroughput=" << m.decodeThroughput
+        << " arrived=" << m.requestsArrived
+        << " decodeTokens=" << m.decodeTokensInWindow;
+}

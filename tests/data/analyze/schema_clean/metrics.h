@@ -1,0 +1,10 @@
+// helix-analyze: treat-as(src/sim/metrics_clean_fixture.h)
+// Clean fixture for the metrics-schema check: every field covered by
+// a schema row, every row emitted and fingerprinted.
+
+struct SimMetrics
+{
+    double decodeThroughput = 0.0;
+    long requestsArrived = 0;
+    long decodeTokensInWindow = 0;
+};

@@ -1,0 +1,17 @@
+// helix-analyze: treat-as(src/exp/schema_clean_fixture.cpp)
+// Clean fixture schema: one emitted column per struct field plus an
+// internal-metric opt-out, all fingerprinted.
+
+const MetricColumnSpec kMetricColumns[] = {
+    {"decode_throughput", "metrics.decodeThroughput",
+     "decodeThroughput=",
+     [](const JobResult &r) { return r.metrics.decodeThroughput; }},
+    {"requests_arrived", "metrics.requestsArrived", "arrived=",
+     [](const JobResult &r) {
+         return static_cast<double>(r.metrics.requestsArrived);
+     }},
+};
+
+const InternalMetricSpec kInternalMetrics[] = {
+    {"metrics.decodeTokensInWindow", "decodeTokens="},
+};

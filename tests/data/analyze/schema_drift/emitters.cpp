@@ -1,0 +1,14 @@
+// helix-analyze: treat-as(src/exp/emitters_fixture.cpp)
+// Emitter fixture: both emitters render decode_throughput only.
+
+std::string
+resultsToJson()
+{
+    return "{\"decode_throughput\": 1.0}";
+}
+
+std::string
+resultsToCsv()
+{
+    return "decode_throughput\n1.0\n";
+}

@@ -1,0 +1,8 @@
+// helix-analyze: treat-as(tests/fingerprint_fixture.cpp)
+// Fingerprint fixture: renders decodeThroughput only.
+
+void
+fingerprint(std::ostream &out, const SimMetrics &m)
+{
+    out << " decodeThroughput=" << m.decodeThroughput;
+}

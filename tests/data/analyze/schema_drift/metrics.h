@@ -1,0 +1,9 @@
+// helix-analyze: treat-as(src/sim/metrics_fixture.h)
+// Drift fixture for the metrics-schema check: requestsArrived has no
+// schema row; the companion schema fixture carries a stale row.
+
+struct SimMetrics
+{
+    double decodeThroughput = 0.0;
+    long requestsArrived = 0; // LINT-EXPECT: metrics-schema
+};

@@ -1,0 +1,11 @@
+// helix-analyze: treat-as(src/exp/schema_fixture.cpp)
+// Drift fixture schema: the second row names a field the struct does
+// not have, a column neither emitter emits, and a fingerprint token
+// the differential harness does not render.
+
+const MetricColumnSpec kMetricColumns[] = {
+    {"decode_throughput", "metrics.decodeThroughput",
+     "decodeThroughput=",
+     [](const JobResult &r) { return r.metrics.decodeThroughput; }},
+    {"ghost_column", "metrics.ghostField", "ghost=", nullptr}, // LINT-EXPECT: metrics-schema
+};

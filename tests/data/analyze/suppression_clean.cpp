@@ -1,0 +1,24 @@
+// helix-analyze: treat-as(src/sim/suppression_clean_fixture.cpp)
+// A justified allow() suppresses the thread-context finding it
+// covers; the directive itself is well-formed.
+
+class Coordinator
+{
+  public:
+    HELIX_COORDINATOR_ONLY
+    void mutateQueue();
+};
+
+class Lane
+{
+  public:
+    HELIX_LANE_SAFE
+    void onWork(Coordinator &coord);
+};
+
+void
+Lane::onWork(Coordinator &coord)
+{
+    // helix-analyze: allow(thread-context) fixture: runs during single-threaded startup before any worker exists
+    coord.mutateQueue();
+}

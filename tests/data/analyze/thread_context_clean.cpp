@@ -1,0 +1,47 @@
+// helix-analyze: treat-as(src/sim/thread_context_clean_fixture.cpp)
+// Clean fixture for the thread-context check: dispatch boundaries
+// stop propagation (their bodies are context-neutral and calling
+// into them is always legal), and a higher rank may call any lower
+// rank.
+
+class Coordinator
+{
+  public:
+    HELIX_COORDINATOR_ONLY
+    void mutateQueue();
+
+    HELIX_LANE_SAFE
+    void recordToken();
+};
+
+class Engine
+{
+  public:
+    HELIX_CONTEXT_DISPATCH
+    void dispatch(Coordinator &coord);
+
+    HELIX_CHURN_BARRIER_ONLY
+    void barrier(Coordinator &coord);
+
+    HELIX_LANE_SAFE
+    void onWork(Coordinator &coord, Engine &engine);
+};
+
+void
+Engine::dispatch(Coordinator &coord)
+{
+    coord.mutateQueue(); // dispatch bodies run in the caller context
+}
+
+void
+Engine::barrier(Coordinator &coord)
+{
+    coord.mutateQueue(); // coordinator rank is below the barrier rank
+}
+
+void
+Engine::onWork(Coordinator &coord, Engine &engine)
+{
+    coord.recordToken();    // lane-safe callee from lane context
+    engine.dispatch(coord); // entering a dispatch boundary is legal
+}

@@ -1,0 +1,51 @@
+// helix-analyze: treat-as(src/sim/thread_context_fixture.cpp)
+// Violating fixture for the thread-context check: lane-context code
+// reaching coordinator-only state directly, through an unannotated
+// helper (call-graph propagation), and through an annotated field;
+// plus a coordinator-rank function escalating to the churn barrier.
+
+class Coordinator
+{
+  public:
+    HELIX_COORDINATOR_ONLY
+    void mutateQueue();
+
+    HELIX_CHURN_BARRIER_ONLY
+    void applyChurn();
+
+    HELIX_COORDINATOR_ONLY
+    int pendingCount = 0;
+};
+
+class Lane
+{
+  public:
+    HELIX_LANE_SAFE
+    void onWork(Coordinator &coord);
+
+    HELIX_COORDINATOR_ONLY
+    void coordinatorPhase(Coordinator &coord);
+
+  private:
+    void helper(Coordinator &coord);
+};
+
+void
+Lane::onWork(Coordinator &coord)
+{
+    coord.mutateQueue(); // LINT-EXPECT: thread-context
+    helper(coord);
+}
+
+void
+Lane::coordinatorPhase(Coordinator &coord)
+{
+    coord.applyChurn(); // LINT-EXPECT: thread-context
+}
+
+void
+Lane::helper(Coordinator &coord)
+{
+    coord.mutateQueue();    // LINT-EXPECT: thread-context
+    coord.pendingCount = 3; // LINT-EXPECT: thread-context
+}

@@ -66,7 +66,11 @@ appendStat(std::ostringstream &out, const char *name,
 }
 
 /** Exhaustive textual fingerprint of a SimMetrics: every scalar,
- *  every flow event, every node stat, every link stat. */
+ *  every flow event, every node stat, every link stat, every tenant
+ *  stat. helix-analyze's metrics-schema check cross-references the
+ *  field tokens emitted here against the schema table in
+ *  src/exp/schema.cpp, so new SimMetrics fields must be added to
+ *  both (and to the emitters) or the lint CI job fails. */
 std::string
 fingerprint(const SimMetrics &metrics)
 {
@@ -78,10 +82,12 @@ fingerprint(const SimMetrics &metrics)
         << " completed=" << metrics.requestsCompleted
         << " rejected=" << metrics.requestsRejected
         << " restarted=" << metrics.requestsRestarted
+        << " preempted=" << metrics.requestsPreempted
         << "\ndecodeTokens=" << metrics.decodeTokensInWindow
         << " promptTokens=" << metrics.promptTokensInWindow
         << "\navgKvUtilization=" << num(metrics.avgKvUtilization)
         << " simulatedSeconds=" << num(metrics.simulatedSeconds)
+        << " jain=" << num(metrics.jainIndex)
         << "\n";
     appendStat(out, "promptLatency", metrics.promptLatency);
     appendStat(out, "decodeLatency", metrics.decodeLatency);
@@ -106,6 +112,22 @@ fingerprint(const SimMetrics &metrics)
             << " busy=" << num(stat.busySeconds)
             << " maxDelay=" << num(stat.maxQueueDelayS)
             << " totalDelay=" << num(stat.totalQueueDelayS) << "\n";
+    }
+    for (size_t t = 0; t < metrics.tenantStats.size(); ++t) {
+        const SimMetrics::TenantStat &stat = metrics.tenantStats[t];
+        out << "tenant " << t << " name=" << stat.name
+            << " weight=" << num(stat.weight)
+            << " tput=" << num(stat.decodeThroughput)
+            << " arrived=" << stat.requestsArrived
+            << " admitted=" << stat.requestsAdmitted
+            << " completed=" << stat.requestsCompleted
+            << " rejected=" << stat.requestsRejected
+            << " preempted=" << stat.requestsPreempted
+            << " tokens=" << stat.decodeTokensInWindow
+            << " ttft=" << num(stat.ttftAttainment) << "/"
+            << stat.ttftMet << ":" << stat.ttftSamples
+            << " tpot=" << num(stat.tpotAttainment) << "/"
+            << stat.tpotMet << ":" << stat.tpotSamples << "\n";
     }
     return out.str();
 }

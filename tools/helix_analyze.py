@@ -1,0 +1,1252 @@
+#!/usr/bin/env python3
+"""helix-analyze: call-graph thread-context checks + cross-artifact
+schema coherence.
+
+helix-lint (tools/helix_lint.py) enforces line-local coding rules.
+This tool covers the two failure classes a line-local linter cannot
+see:
+
+1. **Thread-context propagation** (``thread-context``,
+   ``annotation-coverage``): the parallel executor (PR 9) splits the
+   simulator into lane context (shard workers), coordinator context
+   (the serialized coordinator phase), and churn-barrier context (the
+   full-stop topology barrier). APIs and fields declare their context
+   with the macros in src/core/annotations.h; this tool parses every
+   function definition out of the stripped-source model, builds an
+   approximate per-TU + cross-TU call graph, propagates the declared
+   context rank along call edges, and flags any reachable path where
+   lane-context code calls a coordinator-only/churn-barrier-only API
+   or touches a coordinator-only field.
+
+2. **Cross-artifact schema coherence** (``metrics-schema``,
+   ``param-docs``, ``bench-docs``): facts that live in several
+   artifacts at once — the SimMetrics struct vs. the schema tables in
+   src/exp/schema.cpp vs. the two emitters vs. the differential
+   fingerprint; the core::specParams() registry vs. the docs; the
+   bench/ binaries vs. the README bench table — must never drift.
+
+Checks (``--list-checks`` for the one-liners):
+
+  thread-context         lane/coordinator/churn-barrier rank violation
+                         on a reachable call-graph path
+  annotation-coverage    public ParallelExecutor/FairShareController
+                         entry point without a context annotation
+  metrics-schema         SimMetrics / schema table / emitters /
+                         differential fingerprint drift
+  param-docs             spec registry key undocumented, or doc
+                         example using an undeclared key
+  bench-docs             bench binary without a README bench-table row
+  suppression            malformed allow() directive
+
+Findings print as ``path:line: [check-id] message`` (same contract as
+helix-lint). A finding is suppressed only by a comment on the same
+line or the line above::
+
+    // helix-analyze: allow(<check-id>) <justification>
+
+Markdown artifacts may use ``<!-- helix-analyze: allow(...) ... -->``.
+The justification is mandatory. A fixture file may carry
+``// helix-analyze: treat-as(<path>)`` in its first lines to opt into
+the path-scoped rules of ``<path>`` (used by tests/data/analyze/).
+
+Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+
+Usage:
+  tools/helix_analyze.py --all
+  tools/helix_analyze.py --compile-commands build/compile_commands.json
+  tools/helix_analyze.py [--checks id,id] file.cpp ...
+"""
+
+import argparse
+import re
+import sys
+from collections import deque
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import helix_lint
+from helix_lint import Finding, REPO_ROOT
+
+# ---------------------------------------------------------------------------
+# Check registry
+# ---------------------------------------------------------------------------
+
+CHECKS = {
+    "thread-context": (
+        "lane-context code reaching a coordinator-only or "
+        "churn-barrier-only API or field through the call graph"
+    ),
+    "annotation-coverage": (
+        "public ParallelExecutor/FairShareController entry point "
+        "without a thread-context annotation"
+    ),
+    "metrics-schema": (
+        "drift between SimMetrics, the schema tables "
+        "(src/exp/schema.cpp), the CSV/JSON emitters, and the "
+        "differential fingerprint"
+    ),
+    "param-docs": (
+        "core::specParams() key missing from the docs, or a doc "
+        "example using an undeclared key"
+    ),
+    "bench-docs": (
+        "bench binary without a row in the README bench table"
+    ),
+    "suppression": (
+        "malformed allow() directive (unknown check-id or missing "
+        "justification)"
+    ),
+}
+
+MODEL_CHECKS = ("thread-context", "annotation-coverage")
+
+# Context ranks: a function of rank r may call/touch anything of rank
+# <= r. Lane context is the most restrictive caller context.
+ANNOTATION_RANKS = {
+    "HELIX_LANE_SAFE": 0,
+    "HELIX_COORDINATOR_ONLY": 1,
+    "HELIX_CHURN_BARRIER_ONLY": 2,
+}
+DISPATCH_MACRO = "HELIX_CONTEXT_DISPATCH"
+RANK_LABELS = {0: "lane-safe", 1: "coordinator-only",
+               2: "churn-barrier-only"}
+ANNOT_RE = re.compile(
+    r"\b(HELIX_LANE_SAFE|HELIX_COORDINATOR_ONLY|"
+    r"HELIX_CHURN_BARRIER_ONLY|HELIX_CONTEXT_DISPATCH)\b")
+
+# Classes whose whole public surface must be annotated.
+COVERAGE_CLASSES = ("ParallelExecutor", "FairShareController")
+
+# The propagation model only covers the library tree.
+THREAD_CONTEXT_PREFIXES = ("src/",)
+
+DIRECTIVE_RE = re.compile(
+    r"(?://|<!--)\s*helix-analyze:\s*(allow|treat-as)\(([^)]*)\)"
+    r"\s*(.*?)\s*(?:-->\s*)?$"
+)
+
+# ---------------------------------------------------------------------------
+# Source model (extends the helix-lint stripped-source model with the
+# helix-analyze directive grammar)
+# ---------------------------------------------------------------------------
+
+
+class SourceFile(helix_lint.SourceFile):
+    def _directives(self):
+        for lineno, line in enumerate(self.raw_lines, start=1):
+            m = DIRECTIVE_RE.search(line)
+            if not m:
+                continue
+            kind, arg, tail = m.group(1), m.group(2).strip(), m.group(3)
+            if kind == "treat-as":
+                if lineno <= 5 and arg:
+                    self.scope = arg
+                continue
+            justification = tail.strip()
+            if arg not in CHECKS:
+                self.directive_findings.append(Finding(
+                    self.rel, lineno, "suppression",
+                    f"allow() names unknown check '{arg}'"))
+                continue
+            if not justification:
+                self.directive_findings.append(Finding(
+                    self.rel, lineno, "suppression",
+                    f"allow({arg}) requires a justification string"))
+                continue
+            self.allows[lineno] = self.allows.get(lineno, set())
+            self.allows[lineno].add(arg)
+
+
+_SOURCE_CACHE = {}
+
+
+def load_source(path: Path):
+    key = str(path.resolve())
+    if key not in _SOURCE_CACHE:
+        try:
+            rel = path.resolve().relative_to(REPO_ROOT).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        _SOURCE_CACHE[key] = SourceFile(path, rel)
+    return _SOURCE_CACHE[key]
+
+
+# ---------------------------------------------------------------------------
+# Approximate C++ structure parser
+#
+# A statement-buffer + brace-depth scanner over the stripped lines.
+# It recovers namespaces, classes (with access sections), member/free
+# function declarations and definitions, data members, and the
+# annotation macro attached to each — enough to build the call graph.
+# ---------------------------------------------------------------------------
+
+ACCESS_RE = re.compile(r"^\s*(public|protected|private)\s*:\s*")
+NAME_BEFORE_PAREN_RE = re.compile(
+    r"((?:~?[A-Za-z_]\w*\s*::\s*)*~?[A-Za-z_]\w*)$")
+OPERATOR_RE = re.compile(r"\boperator\b[^()]*$")
+CLASS_HEAD_RE = re.compile(r"\b(?:class|struct|union)\s+([A-Za-z_]\w*)")
+NAMESPACE_HEAD_RE = re.compile(
+    r"^(?:inline\s+)?namespace\b(?:\s+([A-Za-z_]\w*))?")
+CALL_RE = re.compile(
+    r"(?:\b([A-Za-z_]\w*)\s*(?:\.|->)\s*)?\b(~?[A-Za-z_]\w*)\s*\(")
+
+STMT_KEYWORDS = frozenset({
+    "if", "for", "while", "switch", "catch", "return", "sizeof",
+    "alignof", "decltype", "noexcept", "static_assert", "assert",
+    "new", "delete", "throw", "case", "defined", "do", "else",
+})
+TYPE_KEYWORDS = frozenset({
+    "int", "long", "double", "float", "bool", "char", "short",
+    "unsigned", "signed", "void", "auto", "size_t", "uint8_t",
+    "int8_t", "uint16_t", "int16_t", "uint32_t", "int32_t",
+    "uint64_t", "int64_t", "const", "static", "inline", "virtual",
+    "explicit", "constexpr",
+})
+SKIP_CALLEES = STMT_KEYWORDS | TYPE_KEYWORDS
+
+# Common std container/sync method names: never resolved through an
+# *untyped* receiver (a `vec.reserve(n)` must not match
+# KvEstimator::reserve). Typed receivers are still checked.
+STD_METHODS = frozenset({
+    "push", "push_back", "push_front", "pop", "pop_back", "pop_front",
+    "emplace", "emplace_back", "emplace_front", "emplace_hint",
+    "reserve", "release", "resize", "clear", "erase", "insert",
+    "find", "count", "size", "empty", "begin", "end", "rbegin",
+    "rend", "front", "back", "top", "at", "get", "reset", "swap",
+    "str", "c_str", "data", "substr", "append", "compare", "length",
+    "wait", "wait_for", "notify_all", "notify_one", "lock", "unlock",
+    "try_lock", "join", "detach", "load", "store", "exchange",
+    "fetch_add", "value", "has_value", "value_or", "lower_bound",
+    "upper_bound", "contains", "assign", "fill",
+})
+
+
+class FunctionDef:
+    __slots__ = ("cls", "name", "annotation", "rel", "sig_line",
+                 "body_open", "end", "sig", "src")
+
+    def __init__(self, cls, name, annotation, src, sig_line, body_open,
+                 sig):
+        self.cls = cls
+        self.name = name
+        self.annotation = annotation
+        self.src = src
+        self.rel = src.rel
+        self.sig_line = sig_line
+        self.body_open = body_open
+        self.end = body_open
+        self.sig = sig
+
+    def qual(self):
+        return f"{self.cls}::{self.name}" if self.cls else self.name
+
+
+class MemberDecl:
+    __slots__ = ("kind", "name", "annotation", "access", "line",
+                 "text")
+
+    def __init__(self, kind, name, annotation, access, line, text):
+        self.kind = kind  # "fn" | "field"
+        self.name = name
+        self.annotation = annotation
+        self.access = access
+        self.line = line
+        self.text = text
+
+
+class ClassInfo:
+    __slots__ = ("name", "rel", "line", "members")
+
+    def __init__(self, name, rel, line):
+        self.name = name
+        self.rel = rel
+        self.line = line
+        self.members = []
+
+
+class FileModel:
+    __slots__ = ("src", "functions", "classes")
+
+    def __init__(self, src):
+        self.src = src
+        self.functions = []
+        self.classes = []  # ClassInfo, one per class *block*
+
+
+def _func_name(text):
+    """Name of the function a declarator introduces, or None."""
+    depth = 0
+    idx = -1
+    for i, ch in enumerate(text):
+        if ch == "<":
+            depth += 1
+        elif ch == ">":
+            depth = max(0, depth - 1)
+        elif ch == "(" and depth == 0:
+            idx = i
+            break
+    if idx < 0:
+        return None
+    before = text[:idx].rstrip()
+    if OPERATOR_RE.search(before):
+        return "operator"
+    m = NAME_BEFORE_PAREN_RE.search(before)
+    if not m:
+        return None
+    name = re.sub(r"\s+", "", m.group(1))
+    last = name.split("::")[-1].lstrip("~")
+    if not last or last in SKIP_CALLEES:
+        return None
+    return name
+
+
+def parse_file(src):
+    """Build the structural model of one stripped translation unit."""
+    model = FileModel(src)
+    stack = []  # {"kind": ..., ...}; kinds: namespace/class/function/opaque
+    buf = []
+    buf_line = None
+
+    def current_class():
+        for blk in reversed(stack):
+            if blk["kind"] == "class":
+                return blk
+            if blk["kind"] == "namespace":
+                continue
+            return None
+        return None
+
+    def inside_opaque():
+        return any(b["kind"] in ("function", "opaque") for b in stack)
+
+    def consume_labels(text):
+        ctx = current_class()
+        while True:
+            m = ACCESS_RE.match(text)
+            if not m:
+                return text
+            if ctx is not None:
+                ctx["access"] = m.group(1)
+            text = text[m.end():]
+
+    def handle_decl(text, lineno, start_line):
+        if inside_opaque():
+            return
+        ctx = current_class()
+        t = consume_labels(text).strip()
+        if not t:
+            return
+        first = re.match(r"[A-Za-z_]\w*", t)
+        fw = first.group(0) if first else ""
+        if fw in ("using", "friend", "typedef", "static_assert",
+                  "template", "namespace", "enum", "extern"):
+            return
+        annot = ANNOT_RE.search(t)
+        annotation = annot.group(1) if annot else None
+        name = _func_name(t)
+        if name and name != "operator":
+            simple = name.split("::")[-1]
+            if "::" in name:
+                cls = name.split("::")[-2]
+            elif ctx is not None:
+                cls = ctx["info"].name
+            else:
+                cls = None
+            decl = MemberDecl("fn", simple, annotation,
+                              ctx["access"] if ctx else "public",
+                              start_line, t)
+            if ctx is not None:
+                ctx["info"].members.append(decl)
+            model_decls.append((cls, simple, annotation, start_line, t))
+        elif "(" not in t and ctx is not None and fw not in ("class",
+                                                            "struct"):
+            head = t.split("=", 1)[0]
+            ids = re.findall(r"[A-Za-z_]\w*", head)
+            if not ids:
+                return
+            fname = ids[-1]
+            ctx["info"].members.append(MemberDecl(
+                "field", fname, annotation, ctx["access"], start_line,
+                t))
+
+    def classify_open(text, lineno, start_line):
+        """Handle '{' in a transparent context."""
+        t = consume_labels(text).strip()
+        first = re.match(r"[A-Za-z_]\w*", t)
+        fw = first.group(0) if first else ""
+        if fw == "namespace" or t.startswith("inline namespace") or \
+                fw == "extern":
+            m = NAMESPACE_HEAD_RE.match(t)
+            stack.append({"kind": "namespace",
+                          "name": m.group(1) if m else None})
+            return
+        if fw in ("class", "struct", "union"):
+            m = CLASS_HEAD_RE.search(t)
+            if m:
+                info = ClassInfo(m.group(1), src.rel, start_line)
+                model.classes.append(info)
+                stack.append({"kind": "class", "info": info,
+                              "access": "private" if fw == "class"
+                              else "public"})
+            else:
+                stack.append({"kind": "opaque"})
+            return
+        if fw == "enum":
+            stack.append({"kind": "opaque"})
+            return
+        name = _func_name(t)
+        if name and name != "operator":
+            simple = name.split("::")[-1]
+            ctx = current_class()
+            if "::" in name:
+                cls = name.split("::")[-2]
+            elif ctx is not None:
+                cls = ctx["info"].name
+            else:
+                cls = None
+            annot = ANNOT_RE.search(t)
+            annotation = annot.group(1) if annot else None
+            fn = FunctionDef(cls, simple, annotation, src, start_line,
+                             lineno, t)
+            if ctx is not None:
+                ctx["info"].members.append(MemberDecl(
+                    "fn", simple, annotation, ctx["access"],
+                    start_line, t))
+            stack.append({"kind": "function", "fn": fn})
+            return
+        stack.append({"kind": "opaque"})
+
+    model_decls = []  # (cls, name, annotation, line, text)
+
+    for lineno, line in enumerate(src.stripped_lines, start=1):
+        if line.lstrip().startswith("#"):
+            continue
+        for ch in line:
+            if ch == "{":
+                if inside_opaque():
+                    stack.append({"kind": "opaque"})
+                else:
+                    classify_open("".join(buf),
+                                  lineno, buf_line or lineno)
+                buf = []
+                buf_line = None
+            elif ch == "}":
+                if stack:
+                    blk = stack.pop()
+                    if blk["kind"] == "function":
+                        blk["fn"].end = lineno
+                        model.functions.append(blk["fn"])
+                buf = []
+                buf_line = None
+            elif ch == ";":
+                handle_decl("".join(buf), lineno, buf_line or lineno)
+                buf = []
+                buf_line = None
+            else:
+                if buf_line is None and not ch.isspace():
+                    buf_line = lineno
+                buf.append(ch)
+        if buf or buf_line is not None:
+            buf.append(" ")
+    # close any dangling function at EOF
+    while stack:
+        blk = stack.pop()
+        if blk["kind"] == "function":
+            blk["fn"].end = len(src.stripped_lines)
+            model.functions.append(blk["fn"])
+    return model, model_decls
+
+
+# FileModel carries decls via the parse_file return; keep __slots__
+# minimal.
+
+
+# ---------------------------------------------------------------------------
+# Thread-context propagation
+# ---------------------------------------------------------------------------
+
+
+class ContextModel:
+    """Cross-TU call-graph with min-rank context propagation."""
+
+    def __init__(self, models):
+        self.models = [m for (m, _) in models]
+        # (cls, name) -> (macro, rel, line)
+        self.annotated_fns = {}
+        # (cls, name) -> (macro, rel, line)
+        self.annotated_fields = {}
+        # (cls, name) -> [FunctionDef]
+        self.defs = {}
+        # class -> {var -> class}
+        self.member_types = {}
+        self.findings = []
+        for model, decls in models:
+            for fn in model.functions:
+                self.defs.setdefault((fn.cls, fn.name),
+                                     []).append(fn)
+                if fn.annotation:
+                    self._annotate_fn((fn.cls, fn.name), fn.annotation,
+                                      fn.rel, fn.sig_line)
+            for cls, name, annotation, line, _text in decls:
+                if annotation:
+                    self._annotate_fn((cls, name), annotation,
+                                      model.src.rel, line)
+            for info in model.classes:
+                for mem in info.members:
+                    if mem.kind == "field" and mem.annotation:
+                        key = (info.name, mem.name)
+                        if mem.annotation == DISPATCH_MACRO:
+                            self.findings.append(Finding(
+                                info.rel, mem.line, "thread-context",
+                                f"field '{info.name}::{mem.name}' "
+                                f"cannot be {DISPATCH_MACRO} (fields "
+                                "have no dispatch semantics)"))
+                            continue
+                        self.annotated_fields[key] = (
+                            mem.annotation, info.rel, mem.line)
+        self.known_classes = sorted(
+            {k[0] for k in self.annotated_fns if k[0]} |
+            {k[0] for k in self.annotated_fields if k[0]})
+        self._build_var_patterns()
+        self._build_member_types()
+        self._name_candidates = {}
+        for key in self.annotated_fns:
+            self._name_candidates.setdefault(key[1], []).append(key)
+        self._calls_cache = {}
+        self._vartypes_cache = {}
+
+    def _annotate_fn(self, key, macro, rel, line):
+        prev = self.annotated_fns.get(key)
+        if prev is not None and prev[0] != macro:
+            qual = f"{key[0]}::{key[1]}" if key[0] else key[1]
+            self.findings.append(Finding(
+                rel, line, "thread-context",
+                f"'{qual}' re-annotated {macro} but declared "
+                f"{prev[0]} at {prev[1]}:{prev[2]}"))
+            return
+        self.annotated_fns[key] = (macro, rel, line)
+
+    def _build_var_patterns(self):
+        if not self.known_classes:
+            self.decl_re = None
+            self.ptr_re = None
+            return
+        alt = "|".join(re.escape(c) for c in self.known_classes)
+        self.decl_re = re.compile(
+            rf"\b(?:\w+::)*({alt})\s*(?:const\s*)?[&*]?\s*"
+            rf"([A-Za-z_]\w*)")
+        self.ptr_re = re.compile(
+            rf"\b(?:unique_ptr|shared_ptr)\s*<\s*(?:\w+::)*({alt})"
+            rf"\s*\*?\s*>\s*&?\s*([A-Za-z_]\w*)")
+
+    def _extract_vars(self, text, out):
+        if self.decl_re is None:
+            return
+        for m in self.ptr_re.finditer(text):
+            out.setdefault(m.group(2), m.group(1))
+        for m in self.decl_re.finditer(text):
+            var = m.group(2)
+            if var not in SKIP_CALLEES and var not in out:
+                out[var] = m.group(1)
+
+    def _build_member_types(self):
+        for model in self.models:
+            for info in model.classes:
+                table = self.member_types.setdefault(info.name, {})
+                for mem in info.members:
+                    if mem.kind == "field":
+                        self._extract_vars(mem.text, table)
+
+    def vartypes(self, fn):
+        key = id(fn)
+        cached = self._vartypes_cache.get(key)
+        if cached is not None:
+            return cached
+        table = {}
+        if fn.cls:
+            table["this"] = fn.cls
+        text = fn.sig + "\n" + "\n".join(
+            fn.src.stripped_lines[fn.body_open - 1:fn.end])
+        self._extract_vars(text, table)
+        if fn.cls:
+            for var, cls in self.member_types.get(fn.cls, {}).items():
+                table.setdefault(var, cls)
+        self._vartypes_cache[key] = table
+        return table
+
+    def calls(self, fn):
+        key = id(fn)
+        cached = self._calls_cache.get(key)
+        if cached is not None:
+            return cached
+        out = []
+        for lineno in range(fn.body_open, fn.end + 1):
+            line = fn.src.stripped_lines[lineno - 1]
+            for m in CALL_RE.finditer(line):
+                recv, callee = m.group(1), m.group(2)
+                if callee in SKIP_CALLEES or callee.startswith("~"):
+                    continue
+                out.append((lineno, recv, callee))
+        self._calls_cache[key] = out
+        return out
+
+    def resolve(self, fn, recv, callee):
+        """-> ("annotated"|"def", key) or None."""
+        vt = self.vartypes(fn)
+        if recv:
+            rcls = vt.get(recv)
+            if rcls:
+                key = (rcls, callee)
+                if key in self.annotated_fns:
+                    return ("annotated", key)
+                if key in self.defs:
+                    return ("def", key)
+                return None
+            if callee in STD_METHODS:
+                return None
+            cands = self._name_candidates.get(callee, [])
+            if len(cands) == 1:
+                return ("annotated", cands[0])
+            return None
+        if fn.cls:
+            key = (fn.cls, callee)
+            if key in self.annotated_fns:
+                return ("annotated", key)
+            if key in self.defs:
+                return ("def", key)
+        key = (None, callee)
+        if key in self.defs:
+            return ("def", key)
+        if key in self.annotated_fns:
+            return ("annotated", key)
+        if callee in STD_METHODS:
+            return None
+        cands = self._name_candidates.get(callee, [])
+        if len(cands) == 1:
+            return ("annotated", cands[0])
+        return None
+
+    def propagate(self):
+        """Min-rank fixpoint over the call graph. Returns
+        {key: (rank, root_key)} for every visited function."""
+        best = {}
+        origin = {}
+        queue = deque()
+        for key, (macro, _rel, _line) in self.annotated_fns.items():
+            if macro == DISPATCH_MACRO:
+                continue
+            if key in self.defs:
+                best[key] = ANNOTATION_RANKS[macro]
+                origin[key] = key
+                queue.append(key)
+        while queue:
+            key = queue.popleft()
+            rank = best[key]
+            for fn in self.defs.get(key, []):
+                for _lineno, recv, callee in self.calls(fn):
+                    res = self.resolve(fn, recv, callee)
+                    if res is None or res[0] != "def":
+                        continue
+                    tk = res[1]
+                    if tk in self.annotated_fns:
+                        continue  # pinned at its own declared rank
+                    if tk not in best or rank < best[tk]:
+                        best[tk] = rank
+                        origin[tk] = origin[key]
+                        queue.append(tk)
+        return {k: (r, origin[k]) for k, r in best.items()}
+
+    def check_thread_context(self):
+        findings = list(self.findings)
+        visited = self.propagate()
+
+        def qual(key):
+            return f"{key[0]}::{key[1]}" if key[0] else key[1]
+
+        for key, (rank, root) in visited.items():
+            via = ""
+            if root != key:
+                via = (f" (reached from {RANK_LABELS[best_rank(self, root)]}"
+                       f" '{qual(root)}')")
+            for fn in self.defs.get(key, []):
+                if not fn.src.in_scope(THREAD_CONTEXT_PREFIXES):
+                    continue
+                macro = self.annotated_fns.get(key, (None,))[0]
+                if macro == DISPATCH_MACRO:
+                    continue
+                for lineno, recv, callee in self.calls(fn):
+                    res = self.resolve(fn, recv, callee)
+                    if res is None or res[0] != "annotated":
+                        continue
+                    tkey = res[1]
+                    tmacro = self.annotated_fns[tkey][0]
+                    if tmacro == DISPATCH_MACRO:
+                        continue
+                    trank = ANNOTATION_RANKS[tmacro]
+                    if trank > rank:
+                        findings.append(Finding(
+                            fn.rel, lineno, "thread-context",
+                            f"{RANK_LABELS[rank]} '{qual(key)}'{via} "
+                            f"calls {RANK_LABELS[trank]} "
+                            f"'{qual(tkey)}'"))
+                findings.extend(self._field_refs(fn, key, rank, via,
+                                                 qual))
+        return findings
+
+    def _field_refs(self, fn, key, rank, via, qual):
+        out = []
+        vt = self.vartypes(fn)
+        for (fcls, fname), (fmacro, _rel, _line) in \
+                self.annotated_fields.items():
+            frank = ANNOTATION_RANKS[fmacro]
+            if frank <= rank:
+                continue
+            pat = re.compile(
+                rf"(?:\b([A-Za-z_]\w*)\s*(?:\.|->)\s*)?\b"
+                rf"{re.escape(fname)}\b")
+            for lineno in range(fn.body_open, fn.end + 1):
+                line = fn.src.stripped_lines[lineno - 1]
+                for m in pat.finditer(line):
+                    recv = m.group(1)
+                    if recv:
+                        if vt.get(recv) != fcls:
+                            continue
+                    elif fn.cls != fcls:
+                        continue
+                    out.append(Finding(
+                        fn.rel, lineno, "thread-context",
+                        f"{RANK_LABELS[rank]} '{qual(key)}'{via} "
+                        f"references {RANK_LABELS[frank]} field "
+                        f"'{fcls}::{fname}'"))
+                    break  # one finding per line per field
+        return out
+
+    def check_annotation_coverage(self):
+        findings = []
+        seen = set()
+        for model in self.models:
+            if not model.src.in_scope(THREAD_CONTEXT_PREFIXES):
+                continue
+            for info in model.classes:
+                if info.name not in COVERAGE_CLASSES:
+                    continue
+                for mem in info.members:
+                    if mem.kind != "fn" or mem.access != "public":
+                        continue
+                    if mem.name == info.name or \
+                            mem.name.startswith("~") or \
+                            mem.name == "operator":
+                        continue
+                    if "= delete" in mem.text or \
+                            "= default" in mem.text:
+                        continue
+                    dedup = (model.src.rel, mem.line, mem.name)
+                    if dedup in seen:
+                        continue
+                    seen.add(dedup)
+                    if mem.annotation is None:
+                        findings.append(Finding(
+                            model.src.rel, mem.line,
+                            "annotation-coverage",
+                            f"public {info.name} entry point "
+                            f"'{mem.name}' lacks a thread-context "
+                            "annotation (see src/core/annotations.h)"))
+        return findings
+
+
+def best_rank(ctx, key):
+    macro = ctx.annotated_fns.get(key, (None,))[0]
+    if macro in ANNOTATION_RANKS:
+        return ANNOTATION_RANKS[macro]
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# metrics-schema: SimMetrics <-> schema tables <-> emitters <->
+# differential fingerprint
+# ---------------------------------------------------------------------------
+
+SCHEMA_TABLE_RE = re.compile(
+    r"\b(MetricColumnSpec|StringColumnSpec|CompositeColumnSpec|"
+    r"InternalMetricSpec)\b[^=;]*\[\]\s*=\s*\{")
+SCHEMA_ROW_RE = re.compile(r"\{\s*((?:\"(?:[^\"\\]|\\.)*\"\s*,?\s*)+)")
+SCHEMA_STR_RE = re.compile(r"\"((?:[^\"\\]|\\.)*)\"")
+
+# strings per row, by spec type
+SCHEMA_ARITY = {
+    "MetricColumnSpec": 3,     # column, field, fingerprint (+ lambda)
+    "StringColumnSpec": 2,     # column, field (+ lambda)
+    "CompositeColumnSpec": 4,  # csvColumn, jsonKey, field, fingerprint
+    "InternalMetricSpec": 2,   # field, fingerprint
+}
+
+
+class SchemaRow:
+    __slots__ = ("kind", "strings", "line")
+
+    def __init__(self, kind, strings, line):
+        self.kind = kind
+        self.strings = strings
+        self.line = line
+
+
+def parse_schema_tables(src):
+    """Extract the literal rows of every schema table, with lines."""
+    rows = []
+    findings = []
+    text = "\n".join(src.raw_lines)
+    for tm in SCHEMA_TABLE_RE.finditer(text):
+        kind = tm.group(1)
+        start = tm.end()
+        # table region: up to the next top-level "};" line
+        end = text.find("\n};", start)
+        region = text[start:end if end >= 0 else len(text)]
+        base_line = text.count("\n", 0, start) + 1
+        for rm in SCHEMA_ROW_RE.finditer(region):
+            line = base_line + region.count("\n", 0, rm.start())
+            strings = SCHEMA_STR_RE.findall(rm.group(1))
+            if len(strings) != SCHEMA_ARITY[kind]:
+                findings.append(Finding(
+                    src.rel, line, "metrics-schema",
+                    f"malformed {kind} row: expected "
+                    f"{SCHEMA_ARITY[kind]} leading string literals, "
+                    f"found {len(strings)}"))
+                continue
+            rows.append(SchemaRow(kind, strings, line))
+    return rows, findings
+
+
+def check_metrics_schema(paths, selected_struct):
+    findings = []
+    metrics_src = load_source(paths["metrics_header"])
+    schema_src = load_source(paths["schema"])
+    emitter_srcs = [load_source(p) for p in paths["emitters"]]
+    fp_src = load_source(paths["fingerprint"])
+
+    # 1. struct fields
+    fields = {}
+    model, _decls = parse_file(metrics_src)
+    for info in model.classes:
+        if info.name == selected_struct:
+            for mem in info.members:
+                if mem.kind == "field":
+                    fields.setdefault(mem.name, mem.line)
+    if not fields:
+        findings.append(Finding(
+            metrics_src.rel, 1, "metrics-schema",
+            f"struct {selected_struct} not found"))
+        return findings
+
+    # 2. schema rows
+    rows, row_findings = parse_schema_tables(schema_src)
+    findings.extend(row_findings)
+
+    def row_field(row):
+        if row.kind == "CompositeColumnSpec":
+            return row.strings[2]
+        if row.kind == "InternalMetricSpec":
+            return row.strings[0]
+        return row.strings[1]
+
+    def row_fingerprint(row):
+        if row.kind == "StringColumnSpec":
+            return None
+        if row.kind == "CompositeColumnSpec":
+            return row.strings[3]
+        if row.kind == "InternalMetricSpec":
+            return row.strings[1]
+        return row.strings[2]
+
+    # 3. emitter bodies
+    bodies = {}
+    for esrc in emitter_srcs:
+        emodel, _ = parse_file(esrc)
+        for fn in emodel.functions:
+            if fn.name in ("resultsToJson", "resultsToCsv"):
+                raw = "\n".join(
+                    esrc.raw_lines[fn.sig_line - 1:fn.end])
+                bodies.setdefault(fn.name, (esrc, fn.sig_line, raw))
+    for emitter in ("resultsToJson", "resultsToCsv"):
+        if emitter not in bodies:
+            findings.append(Finding(
+                emitter_srcs[0].rel, 1, "metrics-schema",
+                f"emitter '{emitter}' not found in "
+                f"{', '.join(e.rel for e in emitter_srcs)}"))
+    if len(bodies) < 2:
+        return findings
+    fp_text = "\n".join(fp_src.raw_lines)
+
+    def emitted(body_raw, word, table_symbol):
+        if re.search(rf"\b{re.escape(word)}\b", body_raw):
+            return True
+        return re.search(rf"\b{table_symbol}\b", body_raw) is not None
+
+    prefix = "metrics."
+    covered = set()
+    for row in rows:
+        f = row_field(row)
+        if f.startswith(prefix):
+            covered.add(f[len(prefix):].split(".")[0])
+
+    # struct -> schema
+    for fname, line in sorted(fields.items(),
+                              key=lambda kv: kv[1]):
+        if fname not in covered:
+            findings.append(Finding(
+                metrics_src.rel, line, "metrics-schema",
+                f"{selected_struct} field '{fname}' has no row in any "
+                f"schema table ({schema_src.rel}); add a column, "
+                "composite, or internal-metric row"))
+
+    json_raw = bodies["resultsToJson"][2]
+    csv_raw = bodies["resultsToCsv"][2]
+    for row in rows:
+        f = row_field(row)
+        # schema -> struct
+        if f.startswith(prefix):
+            member = f[len(prefix):].split(".")[0]
+            if member not in fields:
+                findings.append(Finding(
+                    schema_src.rel, row.line, "metrics-schema",
+                    f"schema row names '{f}' but {selected_struct} "
+                    f"has no field '{member}'"))
+        # schema -> fingerprint
+        fp = row_fingerprint(row)
+        if fp is not None:
+            if not fp:
+                if f.startswith(prefix):
+                    findings.append(Finding(
+                        schema_src.rel, row.line, "metrics-schema",
+                        f"schema row for '{f}' has an empty "
+                        "fingerprint token; every SimMetrics-backed "
+                        "row must be covered by the differential "
+                        "fingerprint"))
+            elif fp not in fp_text:
+                findings.append(Finding(
+                    schema_src.rel, row.line, "metrics-schema",
+                    f"fingerprint token '{fp}' for '{f}' does not "
+                    f"appear in {fp_src.rel}"))
+        # schema -> emitters
+        if row.kind in ("MetricColumnSpec", "StringColumnSpec"):
+            symbol = ("metricColumns" if row.kind == "MetricColumnSpec"
+                      else "stringColumns")
+            column = row.strings[0]
+            for name, raw in (("resultsToJson", json_raw),
+                              ("resultsToCsv", csv_raw)):
+                if not emitted(raw, column, symbol):
+                    findings.append(Finding(
+                        schema_src.rel, row.line, "metrics-schema",
+                        f"column '{column}' is not emitted by "
+                        f"{name}"))
+        elif row.kind == "CompositeColumnSpec":
+            csv_col, json_key = row.strings[0], row.strings[1]
+            if not re.search(rf"\b{re.escape(csv_col)}\b", csv_raw):
+                findings.append(Finding(
+                    schema_src.rel, row.line, "metrics-schema",
+                    f"composite CSV column '{csv_col}' is not emitted "
+                    "by resultsToCsv"))
+            if not re.search(rf"\b{re.escape(json_key)}\b", json_raw):
+                findings.append(Finding(
+                    schema_src.rel, row.line, "metrics-schema",
+                    f"composite JSON key '{json_key}' is not emitted "
+                    "by resultsToJson"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# param-docs: core::specParams() registry <-> docs
+# ---------------------------------------------------------------------------
+
+PARAM_DECL_RE = re.compile(r"\bparameter\(\s*\"([^\"]+)\"")
+PARAM_ALIAS_RE = re.compile(r"\.alias\(\s*\"([^\"]+)\"\s*\)")
+FENCE_RE = re.compile(r"^\s*```")
+KV_RE = re.compile(r"(?<![\w.:=<-])([A-Za-z][A-Za-z0-9-]*)=")
+
+# Keys whose arguments are free-form name=value pairs (tenant names),
+# exempt from the undeclared-key scan on that line.
+FREEFORM_KV_KEYS = {"mix"}
+
+
+def check_param_docs(paths):
+    findings = []
+    params_src = load_source(paths["params"])
+    doc_srcs = [load_source(p) for p in paths["docs"]]
+
+    declared = {}
+    for lineno, line in enumerate(params_src.raw_lines, start=1):
+        for pat in (PARAM_DECL_RE, PARAM_ALIAS_RE):
+            for m in pat.finditer(line):
+                declared.setdefault(m.group(1), lineno)
+    if not declared:
+        findings.append(Finding(
+            params_src.rel, 1, "param-docs",
+            "no parameter(...) declarations found"))
+        return findings
+
+    doc_texts = [(d, "\n".join(d.raw_lines)) for d in doc_srcs]
+    for key, lineno in sorted(declared.items(),
+                              key=lambda kv: (kv[1], kv[0])):
+        pat = re.compile(rf"(?<![\w-]){re.escape(key)}(?![\w-])")
+        if not any(pat.search(text) for _d, text in doc_texts):
+            names = ", ".join(d.rel for d in doc_srcs)
+            findings.append(Finding(
+                params_src.rel, lineno, "param-docs",
+                f"spec key '{key}' is not documented in {names}"))
+
+    for dsrc in doc_srcs:
+        # mode: None = outside fences, "head" = fence opened and the
+        # first content line decides, "spec" = validating an
+        # `experiment v1` example, "ignore" = some other fenced block
+        mode = None
+        for lineno, line in enumerate(dsrc.raw_lines, start=1):
+            if FENCE_RE.match(line):
+                mode = None if mode is not None else "head"
+                continue
+            if mode is None or mode == "ignore":
+                continue
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            if mode == "head":
+                mode = ("spec" if stripped.startswith("experiment v1")
+                        else "ignore")
+                continue
+            tokens = stripped.split()
+            head = tokens[0]
+            if head not in declared:
+                findings.append(Finding(
+                    dsrc.rel, lineno, "param-docs",
+                    f"doc example uses undeclared spec key '{head}'"))
+                continue
+            if head in FREEFORM_KV_KEYS:
+                continue
+            for m in KV_RE.finditer(stripped):
+                k = m.group(1)
+                if k not in declared:
+                    findings.append(Finding(
+                        dsrc.rel, lineno, "param-docs",
+                        f"doc example uses undeclared spec key "
+                        f"'{k}'"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# bench-docs: bench binaries <-> README bench table
+# ---------------------------------------------------------------------------
+
+
+def check_bench_docs(paths):
+    findings = []
+    bench_dir = paths["bench_dir"]
+    readme_src = load_source(paths["readme"])
+    readme_text = "\n".join(readme_src.raw_lines)
+    if not bench_dir.is_dir():
+        return findings
+    for cpp in sorted(bench_dir.glob("*.cpp")):
+        if cpp.stem.startswith("bench_common"):
+            continue
+        binary = f"bench_{cpp.stem}"
+        if not re.search(rf"\b{re.escape(binary)}\b", readme_text):
+            rel = cpp.resolve()
+            try:
+                rel = rel.relative_to(REPO_ROOT).as_posix()
+            except ValueError:
+                rel = cpp.as_posix()
+            findings.append(Finding(
+                rel, 1, "bench-docs",
+                f"bench binary '{binary}' has no row in "
+                f"{readme_src.rel} (bench table)"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def analyze(files, selected, paths, metrics_struct):
+    findings = []
+    sources = {}
+
+    def add(finding):
+        src = sources.get(finding.path)
+        if src is not None and src.allowed(finding.line,
+                                           finding.check):
+            return
+        findings.append(finding)
+
+    models = []
+    for path in files:
+        src = load_source(path)
+        sources[src.rel] = src
+        if path.suffix in helix_lint.SOURCE_SUFFIXES:
+            models.append(parse_file(src))
+
+    artifact_srcs = []
+    if "metrics-schema" in selected:
+        artifact_srcs += [paths["metrics_header"], paths["schema"],
+                          paths["fingerprint"]] + paths["emitters"]
+    if "param-docs" in selected:
+        artifact_srcs += [paths["params"]] + paths["docs"]
+    if "bench-docs" in selected:
+        artifact_srcs.append(paths["readme"])
+        if paths["bench_dir"].is_dir():
+            # load the bench sources so allow() directives in them
+            # can suppress bench-docs findings
+            artifact_srcs.extend(sorted(
+                paths["bench_dir"].glob("*.cpp")))
+    for path in artifact_srcs:
+        if not path.exists():
+            print(f"error: {path}: file not found", file=sys.stderr)
+            return None
+        src = load_source(path)
+        sources.setdefault(src.rel, src)
+
+    if "suppression" in selected:
+        for src in sources.values():
+            findings.extend(src.directive_findings)
+
+    if any(c in selected for c in MODEL_CHECKS):
+        scoped = [(m, d) for (m, d) in models
+                  if m.src.in_scope(THREAD_CONTEXT_PREFIXES)]
+        ctx = ContextModel(scoped)
+        if "thread-context" in selected:
+            for f in ctx.check_thread_context():
+                add(f)
+        if "annotation-coverage" in selected:
+            for f in ctx.check_annotation_coverage():
+                add(f)
+    if "metrics-schema" in selected:
+        for f in check_metrics_schema(paths, metrics_struct):
+            add(f)
+    if "param-docs" in selected:
+        for f in check_param_docs(paths):
+            add(f)
+    if "bench-docs" in selected:
+        for f in check_bench_docs(paths):
+            add(f)
+
+    # drop exact duplicates (e.g. one line with two identical refs)
+    seen = set()
+    unique = []
+    for f in findings:
+        key = (f.path, f.line, f.check, f.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(f)
+    return unique, len(sources)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="helix_analyze.py",
+        description="Call-graph thread-context and cross-artifact "
+                    "schema checks for the helix tree.")
+    parser.add_argument("files", nargs="*", help="files to analyze")
+    parser.add_argument("--all", action="store_true",
+                        help="analyze src/, tests/, bench/")
+    parser.add_argument("--compile-commands", metavar="JSON",
+                        help="derive the file list from a "
+                             "compile_commands.json")
+    parser.add_argument("--checks", metavar="ID[,ID...]",
+                        help="run only the named checks")
+    parser.add_argument("--list-checks", action="store_true",
+                        help="print the check registry and exit")
+    parser.add_argument("--metrics-header",
+                        default="src/sim/simulator.h",
+                        help="header declaring the metrics struct")
+    parser.add_argument("--metrics-struct", default="SimMetrics",
+                        help="name of the metrics struct")
+    parser.add_argument("--schema", default="src/exp/schema.cpp",
+                        help="schema table translation unit")
+    parser.add_argument("--emitters", default="src/exp/experiment.cpp",
+                        help="comma-separated emitter files")
+    parser.add_argument("--fingerprint",
+                        default="tests/test_sim_differential.cpp",
+                        help="differential fingerprint source")
+    parser.add_argument("--params", default="src/core/params.cpp",
+                        help="spec parameter registry source")
+    parser.add_argument("--docs",
+                        default="docs/FILE_FORMATS.md,"
+                                "docs/SCENARIOS.md",
+                        help="comma-separated spec documentation files")
+    parser.add_argument("--readme", default="README.md",
+                        help="README carrying the bench table")
+    parser.add_argument("--bench-dir", default="bench",
+                        help="directory of bench sources")
+    args = parser.parse_args(argv)
+
+    if args.list_checks:
+        for check_id in sorted(CHECKS):
+            print(f"{check_id}: {CHECKS[check_id]}")
+        return 0
+
+    selected = set(CHECKS)
+    if args.checks:
+        selected = set(args.checks.split(","))
+        unknown = selected - set(CHECKS)
+        if unknown:
+            print(f"error: unknown check(s): "
+                  f"{', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+        selected.add("suppression")
+
+    files = [Path(f) for f in args.files]
+    if args.all:
+        files.extend(helix_lint.discover_all())
+    if args.compile_commands:
+        files.extend(helix_lint.discover_compile_commands(
+            Path(args.compile_commands)))
+    if not files and any(c in selected for c in MODEL_CHECKS) \
+            and not args.checks:
+        print("error: no input files (use --all, --compile-commands, "
+              "or list files)", file=sys.stderr)
+        return 2
+
+    def repo_path(p):
+        path = Path(p)
+        return path if path.is_absolute() else REPO_ROOT / path
+
+    paths = {
+        "metrics_header": repo_path(args.metrics_header),
+        "schema": repo_path(args.schema),
+        "emitters": [repo_path(p)
+                     for p in args.emitters.split(",") if p],
+        "fingerprint": repo_path(args.fingerprint),
+        "params": repo_path(args.params),
+        "docs": [repo_path(p) for p in args.docs.split(",") if p],
+        "readme": repo_path(args.readme),
+        "bench_dir": repo_path(args.bench_dir),
+    }
+
+    seen = set()
+    unique_files = []
+    for path in files:
+        if str(path) in seen:
+            continue
+        seen.add(str(path))
+        if not path.exists():
+            print(f"error: {path}: file not found", file=sys.stderr)
+            return 2
+        unique_files.append(path)
+
+    result = analyze(unique_files, selected, paths,
+                     args.metrics_struct)
+    if result is None:
+        return 2
+    findings, nfiles = result
+    findings.sort(key=lambda f: (f.path, f.line, f.check))
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"{len(findings)} finding(s) in {nfiles} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"helix-analyze: {nfiles} file(s) clean", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

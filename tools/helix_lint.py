@@ -49,6 +49,8 @@ Usage:
 
 import argparse
 import json
+import multiprocessing
+import os
 import re
 import sys
 from pathlib import Path
@@ -666,12 +668,26 @@ def discover_compile_commands(db_path: Path):
     return sorted(files)
 
 
+# Memoized source models: scanning a file twice (the fixture driver,
+# or helix_analyze.py importing this module) must not re-strip it.
+_SOURCE_CACHE = {}
+
+
+def get_source(path: Path, rel: str) -> SourceFile:
+    key = str(path)
+    src = _SOURCE_CACHE.get(key)
+    if src is None:
+        src = SourceFile(path, rel)
+        _SOURCE_CACHE[key] = src
+    return src
+
+
 def lint_file(path: Path, selected):
     try:
         rel = path.resolve().relative_to(REPO_ROOT).as_posix()
     except ValueError:
         rel = path.as_posix()
-    src = SourceFile(path, rel)
+    src = get_source(path, rel)
     findings = []
     if "suppression" in selected:
         findings.extend(src.directive_findings)
@@ -684,11 +700,25 @@ def lint_file(path: Path, selected):
     return findings
 
 
+def _lint_worker(args):
+    """Pool worker: lint one file (Finding objects are picklable)."""
+    path_str, selected = args
+    return lint_file(Path(path_str), selected)
+
+
+def default_jobs():
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
 def main(argv):
     parser = argparse.ArgumentParser(
         prog="helix_lint.py",
         description="Determinism/API lint for the helix tree.")
     parser.add_argument("files", nargs="*", help="files to lint")
+    parser.add_argument("--jobs", type=int, metavar="N",
+                        default=default_jobs(),
+                        help="lint N files in parallel (default: "
+                             "min(cpu count, 8); 1 = serial)")
     parser.add_argument("--all", action="store_true",
                         help="lint src/, tests/, bench/")
     parser.add_argument("--compile-commands", metavar="JSON",
@@ -726,7 +756,7 @@ def main(argv):
         return 2
 
     seen = set()
-    findings = []
+    unique = []
     for path in files:
         if str(path) in seen:
             continue
@@ -734,7 +764,20 @@ def main(argv):
         if not path.exists():
             print(f"error: {path}: file not found", file=sys.stderr)
             return 2
-        findings.extend(lint_file(path, selected))
+        unique.append(path)
+
+    findings = []
+    jobs = max(1, args.jobs)
+    if jobs > 1 and len(unique) > 1:
+        work = [(str(p), selected) for p in unique]
+        chunk = max(1, len(work) // (jobs * 4))
+        with multiprocessing.Pool(jobs) as pool:
+            for result in pool.map(_lint_worker, work,
+                                   chunksize=chunk):
+                findings.extend(result)
+    else:
+        for path in unique:
+            findings.extend(lint_file(path, selected))
 
     findings.sort(key=lambda f: (f.path, f.line, f.check))
     for finding in findings:
